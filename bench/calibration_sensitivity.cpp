@@ -1,0 +1,87 @@
+// Section 4.2 — how little historical data is enough?
+//
+// The paper's claim: "accurate predictions can be made even when nudp and
+// nldp are both reduced to 2 and ns is reduced to 50", and recording those
+// samples sequentially with one benchmarking client cost at most 4.5 s
+// below max throughput and 2.2 minutes above it.
+//
+// This bench sweeps (a) the number of calibration data points per equation
+// and (b) the measurement window behind each point (emulating the sample
+// count ns), reporting the resulting accuracy on the new architecture —
+// plus the simulated-time cost of recording 50 sequential samples in each
+// regime (50 x the mean response time, since a benchmarking client waits
+// for each response).
+#include <iostream>
+
+#include "common.hpp"
+#include "core/historical_predictor.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace epp;
+
+/// Calibrate a fresh historical predictor with n points per equation and
+/// the given measurement window, then score it on the new server.
+double accuracy_with(bench::Setup& setup, int points_per_eq, double window_s) {
+  core::HistoricalPredictor predictor(setup.gradient_m);
+  for (const std::string& server : {std::string("AppServF"), std::string("AppServVF")}) {
+    const double knee = setup.n_star(server);
+    std::vector<double> lower_loads, upper_loads;
+    for (int i = 0; i < points_per_eq; ++i) {
+      const double t = points_per_eq == 1
+                           ? 0.5
+                           : static_cast<double>(i) / (points_per_eq - 1);
+      lower_loads.push_back((0.20 + 0.40 * t) * knee);
+      upper_loads.push_back((1.25 + 0.45 * t) * knee);
+    }
+    core::SweepOptions options;
+    options.measure_s = window_s;
+    options.seed = 0x5EED + points_per_eq;
+    const auto lower = core::measure_sweep(bench::spec_for(server), lower_loads,
+                                           options, &setup.pool);
+    const auto upper = core::measure_sweep(bench::spec_for(server), upper_loads,
+                                           options, &setup.pool);
+    predictor.calibrate_established(server, core::to_data_points(lower),
+                                    core::to_data_points(upper),
+                                    setup.max_tput(server));
+  }
+  predictor.register_new_server("AppServS", setup.max_s);
+  const auto measured =
+      setup.validation_sweep("AppServS", {0.3, 0.5, 0.65, 1.3, 1.8});
+  return core::accuracy_against(predictor, "AppServS", measured).mean_rt_pct;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Section 4.2: calibration-data sensitivity ==\n\n";
+  bench::Setup setup;
+
+  util::Table table({"points_per_equation", "window_s_per_point",
+                     "new_server_rt_accuracy_pct"});
+  for (const int points : {2, 3, 4}) {
+    for (const double window : {4.0, 20.0, 160.0}) {
+      table.add_row({std::to_string(points), util::fmt(window, 0),
+                     util::fmt(accuracy_with(setup, points, window), 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: 2 points per equation with short windows "
+               "already land close to the full calibration — the paper's "
+               "nldp = nudp = 2, ns = 50 finding.\n";
+
+  // Cost of recording ns = 50 sequential samples with one benchmarking
+  // client: 50 x the mean response time at that load.
+  const auto pre = setup.validation_sweep("AppServF", {0.5});
+  const auto post = setup.validation_sweep("AppServF", {1.3});
+  std::cout << "\n-- cost of recording 50 sequential samples (one "
+               "benchmarking client) --\n"
+            << "below max throughput: "
+            << util::fmt(50.0 * pre[0].mean_rt_s, 1)
+            << " s (paper: up to 4.5 s)\n"
+            << "above max throughput: "
+            << util::fmt(50.0 * post[0].mean_rt_s / 60.0, 1)
+            << " min (paper: up to 2.2 min)\n";
+  return 0;
+}

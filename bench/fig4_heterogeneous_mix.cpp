@@ -1,0 +1,67 @@
+// Figure 4 — heterogeneous workload mean response time predictions for
+// the new server architecture (AppServS) at different buy percentages.
+//
+// Relationship 3 is calibrated from the established server's measured max
+// throughputs at 0% and 25% buy (paper: 189 and 158 req/s on AppServF) and
+// scaled to the new server; the historical curve then comes from
+// relationship 2 at the scaled max throughput, the LQN curve from solving
+// the mixed-class model directly.
+//
+// Expected shape: good prediction of the curve shapes; the scalability
+// lines appear almost linear before max throughput (small lambdaL), and a
+// higher buy percentage shifts the knee left (lower max throughput).
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace epp;
+  std::cout << "== Figure 4: heterogeneous-workload mean RT predictions, "
+               "new server (AppServS) ==\n\n";
+
+  bench::Setup setup(/*measure_mix=*/true);
+  std::cout << "relationship-3 calibration on AppServF: max throughput "
+            << util::fmt(setup.max_f, 1) << " req/s at 0% buy, "
+            << util::fmt(setup.max_f_buy25, 1) << " at 25% buy (paper: 189 / 158)\n\n";
+
+  for (const double buy_fraction : {0.0, 0.25}) {
+    std::cout << "-- " << 100.0 * buy_fraction << "% buy clients --\n";
+    const double predicted_max =
+        setup.historical->predict_max_throughput_rps("AppServS", buy_fraction);
+    const double n_star = predicted_max / setup.gradient_m;
+    std::vector<double> fractions{0.3, 0.6, 0.9, 1.2, 1.6, 2.0};
+    std::vector<double> clients;
+    for (double f : fractions) clients.push_back(f * n_star);
+    core::SweepOptions options;
+    options.buy_client_fraction = buy_fraction;
+    options.seed = 0xFEED;
+    const auto measured = core::measure_sweep(
+        bench::spec_for("AppServS"), clients, options, &setup.pool);
+
+    util::Table table({"clients", "measured_rt_ms", "historical_rt_ms",
+                       "lqn_rt_ms", "hybrid_rt_ms"});
+    for (const core::MeasuredPoint& p : measured) {
+      core::WorkloadSpec w;
+      w.buy_clients = p.clients * buy_fraction;
+      w.browse_clients = p.clients - w.buy_clients;
+      table.add_row(
+          {util::fmt(p.clients, 0), util::fmt(p.mean_rt_s * 1e3, 1),
+           util::fmt(setup.historical->predict_mean_rt_s("AppServS", w) * 1e3, 1),
+           util::fmt(setup.lqn->predict_mean_rt_s("AppServS", w) * 1e3, 1),
+           util::fmt(setup.hybrid->predict_mean_rt_s("AppServS", w) * 1e3, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "predicted max throughput at this mix: historical "
+              << util::fmt(predicted_max, 1) << " req/s, LQN "
+              << util::fmt(setup.lqn->predict_max_throughput_rps("AppServS",
+                                                                 buy_fraction),
+                           1)
+              << " req/s, measured "
+              << util::fmt(sim::trade::measure_max_throughput(
+                               bench::spec_for("AppServS"), buy_fraction, 21),
+                           1)
+              << " req/s\n\n";
+  }
+  return 0;
+}

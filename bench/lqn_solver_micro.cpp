@@ -1,0 +1,68 @@
+// Micro-benchmark: layered solver cost versus population, class count and
+// convergence criterion (google-benchmark). Grounds the section-8.5
+// latency discussion in numbers for this implementation.
+#include <benchmark/benchmark.h>
+
+#include "core/trade_model.hpp"
+#include "lqn/solver.hpp"
+
+namespace {
+
+using namespace epp;
+
+core::TradeCalibration calibration() {
+  core::TradeCalibration cal;
+  cal.browse = {0.005376, 0.00083, 0.00040, 1.14};
+  cal.buy = {0.010455, 0.00161, 0.00050, 2.0};
+  return cal;
+}
+
+void BM_SolveTypical(benchmark::State& state) {
+  const auto model = core::build_trade_lqn(
+      calibration(), core::arch_f(),
+      {static_cast<double>(state.range(0)), 0.0, 7.0});
+  const lqn::LayeredSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(model));
+  }
+}
+BENCHMARK(BM_SolveTypical)->Arg(100)->Arg(500)->Arg(1500)->Arg(3000)->Arg(10000);
+
+void BM_SolveMixedClasses(benchmark::State& state) {
+  const auto model = core::build_trade_lqn(
+      calibration(), core::arch_f(),
+      {0.75 * static_cast<double>(state.range(0)),
+       0.25 * static_cast<double>(state.range(0)), 7.0});
+  const lqn::LayeredSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(model));
+  }
+}
+BENCHMARK(BM_SolveMixedClasses)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_ConvergenceCriterion(benchmark::State& state) {
+  // The paper's 20 ms criterion vs a tight one: looser stops sooner.
+  lqn::SolverOptions options;
+  options.convergence_tol_s = state.range(0) == 0 ? 1e-9 : 0.020;
+  const auto model =
+      core::build_trade_lqn(calibration(), core::arch_f(), {1500.0, 0.0, 7.0});
+  const lqn::LayeredSolver solver(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(model));
+  }
+}
+BENCHMARK(BM_ConvergenceCriterion)->Arg(0)->Arg(1);
+
+void BM_MaxThroughputBound(benchmark::State& state) {
+  const auto model =
+      core::build_trade_lqn(calibration(), core::arch_f(), {1000.0, 0.0, 7.0});
+  const lqn::LayeredSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.max_throughput_bound_rps(model));
+  }
+}
+BENCHMARK(BM_MaxThroughputBound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

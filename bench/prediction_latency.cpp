@@ -1,0 +1,90 @@
+// Sections 8.4/8.5 — model recalibration overhead and prediction delay.
+//
+// Paper observations to reproduce in shape:
+//   * the layered queuing method needs noticeable CPU time per prediction
+//     (up to 3 s on the authors' Athlon for their solver) and must search
+//     when asked for an SLA capacity;
+//   * historical predictions are near-instant and invert in closed form;
+//   * hybrid predictions pay a one-off start-up delay per architecture
+//     (11 s in the paper) and are then as fast as historical.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+template <typename Fn>
+double mean_latency_us(int iterations, Fn&& fn) {
+  const epp::util::Timer timer;
+  for (int i = 0; i < iterations; ++i) fn(i);
+  return timer.elapsed_us() / iterations;
+}
+
+}  // namespace
+
+int main() {
+  using namespace epp;
+  std::cout << "== Sections 8.4/8.5: prediction latency and start-up "
+               "costs ==\n\n";
+
+  bench::Setup setup;
+  core::WorkloadSpec base;
+  base.browse_clients = 900.0;
+
+  // Fresh hybrid so the start-up delay is observable here.
+  core::HybridPredictor fresh_hybrid(setup.calibration);
+  for (const auto& arch : {core::arch_s(), core::arch_f(), core::arch_vf()})
+    fresh_hybrid.register_server(arch);
+  const util::Timer startup_timer;
+  (void)fresh_hybrid.predict_mean_rt_s("AppServS", base);
+  const double hybrid_first_us = startup_timer.elapsed_us();
+
+  const int n = 2000;
+  auto vary = [&](int i) {
+    core::WorkloadSpec w;
+    w.browse_clients = 400.0 + 1.0 * (i % 1200);
+    return w;
+  };
+  const double historical_us = mean_latency_us(n, [&](int i) {
+    (void)setup.historical->predict_mean_rt_s("AppServF", vary(i));
+  });
+  const double hybrid_us = mean_latency_us(n, [&](int i) {
+    (void)fresh_hybrid.predict_mean_rt_s("AppServS", vary(i));
+  });
+  const double lqn_us = mean_latency_us(200, [&](int i) {
+    (void)setup.lqn->predict_mean_rt_s("AppServF", vary(i));
+  });
+
+  util::Table latency({"method", "mean_prediction_latency_us", "notes"});
+  latency.add_row({"historical", util::fmt(historical_us, 2),
+                   "closed-form equations"});
+  latency.add_row({"layered-queuing", util::fmt(lqn_us, 2),
+                   "solves the LQN per prediction (paper: up to 3 s)"});
+  latency.add_row({"hybrid (after start-up)", util::fmt(hybrid_us, 2),
+                   "start-up " + util::fmt(hybrid_first_us, 1) +
+                       " us incl. pseudo-data generation (paper: ~11 s)"});
+  latency.print(std::cout);
+
+  // SLA capacity search cost: predictions needed per question (8.2/8.5).
+  std::cout << "\n-- SLA capacity search: model evaluations per question --\n";
+  util::Table capacity({"method", "max_clients_at_600ms",
+                        "prediction_evaluations"});
+  for (const core::Predictor* predictor :
+       {static_cast<const core::Predictor*>(setup.historical.get()),
+        static_cast<const core::Predictor*>(setup.lqn.get()),
+        static_cast<const core::Predictor*>(setup.hybrid.get())}) {
+    const core::CapacityResult r =
+        predictor->max_clients_for_goal("AppServF", 0.600, 0.0, 7.0);
+    capacity.add_row({predictor->name(), util::fmt(r.max_clients, 0),
+                      std::to_string(r.prediction_evaluations)});
+  }
+  capacity.print(std::cout);
+
+  std::cout << "\nexpected shape: historical and hybrid answer in one "
+               "closed-form inversion and microseconds; the layered method "
+               "is orders of magnitude slower per prediction and must "
+               "search for capacities.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Micro-benchmark: discrete-event testbed throughput (events/second) and
+// per-experiment simulation cost — what one "measured data point" costs on
+// this substrate (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+#include "sim/trade/testbed.hpp"
+
+namespace {
+
+using namespace epp::sim;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    const long n = state.range(0);
+    for (long i = 0; i < n; ++i)
+      engine.schedule_at(static_cast<double>(i % 97), [] {});
+    engine.run_all();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_PsResourceChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    PsResource cpu(engine, 1.0);
+    const long n = state.range(0);
+    for (long i = 0; i < n; ++i)
+      engine.schedule_at(0.001 * static_cast<double>(i), [&cpu] {
+        cpu.add_job(0.01, [] {});
+      });
+    engine.run_all();
+    benchmark::DoNotOptimize(cpu.active_jobs());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PsResourceChurn)->Arg(1000)->Arg(20000);
+
+void BM_TestbedMeasurement(benchmark::State& state) {
+  // Cost of one measured data point at the given client count (short
+  // window to keep the benchmark itself quick).
+  for (auto _ : state) {
+    trade::TestbedConfig config = trade::typical_workload(
+        trade::app_serv_f(), static_cast<std::size_t>(state.range(0)), 42);
+    config.warmup_s = 5.0;
+    config.measure_s = 20.0;
+    benchmark::DoNotOptimize(trade::run_testbed(config));
+  }
+}
+BENCHMARK(BM_TestbedMeasurement)->Arg(200)->Arg(800)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

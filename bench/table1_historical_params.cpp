@@ -1,0 +1,47 @@
+// Table 1 — historical method relationship parameters.
+//
+// The paper reports the fitted lower-equation parameters (cL, lambdaL) for
+// the three case-study servers, calibrated from nldp = nudp = 2 historical
+// data points with ns = 50 samples: S 138.9 ms / 4e-6, F 84.1 ms / 1e-4,
+// VF 10.7 ms / 9e-4. The reproduced numbers come from our simulated
+// testbed so absolute values differ; the *shape* to check is cL falling
+// and lambdaL rising as servers get faster, with lambdaU ~ 1/max
+// throughput and cU ~ -think time.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "hydra/relationships.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace epp;
+  std::cout << "== Table 1: historical method relationship parameters ==\n"
+            << "(calibrated from 2 lower + 2 upper data points per server;\n"
+            << " AppServS is derived via relationship 2 from its benchmarked"
+            << " max throughput)\n\n";
+
+  bench::Setup setup;
+  util::Table table({"server", "cL_ms", "lambdaL", "lambdaU_ms_per_client",
+                     "cU_ms", "max_tput_rps", "gradient_m"});
+  for (const std::string& name : bench::server_names()) {
+    const hydra::Relationship1& rel = setup.historical->model().server(name);
+    table.add_row({name, util::fmt(rel.c_lower * 1e3, 3),
+                   util::fmt(rel.lambda_lower, 6),
+                   util::fmt(rel.lambda_upper * 1e3, 4),
+                   util::fmt(rel.c_upper * 1e3, 1),
+                   util::fmt(rel.max_throughput_rps, 1),
+                   util::fmt(rel.gradient_m, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper (real WebSphere testbed): cL 138.9/84.1/10.7 ms and "
+               "lambdaL 4e-6/1e-4/9e-4 for S/F/VF.\n"
+               "expected shape: cL falls with max throughput and lambdaU ~ "
+               "1/max throughput, cU ~ -think time, m identical across "
+               "servers (~0.14). lambdaL is testbed-dependent (relationship "
+               "2 fits it as a power law in either direction): the paper's "
+               "servers show it rising with speed, this simulated testbed "
+               "falling (the knee position scales with speed).\n";
+  return 0;
+}

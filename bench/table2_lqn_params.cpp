@@ -1,0 +1,52 @@
+// Table 2 — layered queuing method processing-time parameters, calibrated
+// on AppServF by running single-request-type workloads and deriving the
+// demands from throughput and CPU usage (paper section 5).
+//
+// Paper values (real testbed): browse 4.505 ms app / 0.8294 ms DB,
+// buy 8.761 ms app / 1.613 ms DB; browse makes 1.14 DB calls, buy 2.
+// Our simulator's ground-truth demands are calibrated so the *max
+// throughputs* (86/186/320 req/s) match the paper, which puts the browse
+// app demand at ~5.4 ms (= 1/186); the calibration below must recover the
+// simulator's true values, which is the accuracy that matters.
+#include <iostream>
+
+#include "common.hpp"
+#include "sim/trade/operations.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace epp;
+  std::cout << "== Table 2: LQN processing-time parameters (calibrated on "
+               "AppServF) ==\n\n";
+
+  bench::Setup setup;
+  const core::TradeCalibration& cal = setup.calibration;
+  const auto browse_truth = sim::trade::browse_aggregate();
+  const auto buy_truth = sim::trade::buy_aggregate();
+
+  util::Table table({"request_type", "parameter", "calibrated", "simulator_truth",
+                     "paper_testbed"});
+  auto row = [&](const char* type, const char* param, double got, double truth,
+                 const char* paper) {
+    table.add_row({type, param, util::fmt(got, 4), util::fmt(truth, 4), paper});
+  };
+  row("browse", "app_server_ms", cal.browse.app_demand_s * 1e3,
+      browse_truth.app_cpu_s * 1e3, "4.505");
+  row("browse", "db_server_ms_per_call", cal.browse.db_cpu_per_call_s * 1e3,
+      browse_truth.db_cpu_per_call * 1e3, "0.8294");
+  row("browse", "db_calls_per_request", cal.browse.mean_db_calls,
+      browse_truth.mean_db_calls, "1.14");
+  // The buy *service class* aggregates register/login + ~10 buys + logoff;
+  // its per-request truth is the class aggregate, not the bare buy op.
+  const double buy_agg_app = (0.009 + 10.0 * buy_truth.app_cpu_s + 0.003) / 12.0;
+  row("buy", "app_server_ms", cal.buy.app_demand_s * 1e3, buy_agg_app * 1e3,
+      "8.761");
+  row("buy", "db_calls_per_request", cal.buy.mean_db_calls, 2.0, "2");
+  row("buy", "db_server_ms_per_call", cal.buy.db_cpu_per_call_s * 1e3,
+      (3.0 * 1.2 + 20.0 * 1.613 + 0.8) / 24.0, "1.613");
+  table.print(std::cout);
+
+  std::cout << "\nqueuing-network configuration: app server processes 50 "
+               "requests concurrently, DB server 20 (as in the paper).\n";
+  return 0;
+}

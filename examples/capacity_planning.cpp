@@ -1,0 +1,79 @@
+// Capacity planning: "which server architecture should host this SLA?"
+//
+// Calibrates all three prediction methods from the simulated testbed and
+// asks each for the maximum number of clients every candidate architecture
+// can support under a response-time goal — the resource-management
+// question of the paper's section 8.2, with the prediction-evaluation cost
+// of answering it (section 8.5).
+#include <iostream>
+
+#include "core/evaluation.hpp"
+#include "core/historical_predictor.hpp"
+#include "core/hybrid_predictor.hpp"
+#include "core/lqn_predictor.hpp"
+#include "hydra/relationships.hpp"
+#include "sim/trade/testbed.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace epp;
+  std::cout << "EPP capacity planner: max clients per architecture under an "
+               "SLA goal\n\n";
+  util::ThreadPool pool;
+
+  // Benchmark the three candidate architectures' max throughputs (the
+  // "application-specific benchmark on new server architectures").
+  const double max_s = sim::trade::measure_max_throughput(sim::trade::app_serv_s());
+  const double max_f = sim::trade::measure_max_throughput(sim::trade::app_serv_f());
+  const double max_vf = sim::trade::measure_max_throughput(sim::trade::app_serv_vf());
+
+  // Layered queuing calibration on the established AppServF.
+  const core::TradeCalibration calibration =
+      core::calibrate_lqn_from_testbed(7, &pool);
+  core::LqnPredictor lqn(calibration);
+  core::HybridPredictor hybrid(calibration);
+  for (const auto& arch : {core::arch_s(), core::arch_f(), core::arch_vf()}) {
+    lqn.register_server(arch);
+    hybrid.register_server(arch);
+  }
+
+  // Historical calibration on the two established boxes, S via rel. 2.
+  const auto grad = core::measure_sweep(sim::trade::app_serv_f(), {300.0, 600.0},
+                                        {}, &pool);
+  const double m =
+      hydra::fit_gradient({grad[0].clients, grad[1].clients},
+                          {grad[0].throughput_rps, grad[1].throughput_rps});
+  core::HistoricalPredictor historical(m);
+  for (const auto& [name, spec, max] :
+       {std::tuple{"AppServF", sim::trade::app_serv_f(), max_f},
+        std::tuple{"AppServVF", sim::trade::app_serv_vf(), max_vf}}) {
+    const double knee = max / m;
+    const auto lower =
+        core::measure_sweep(spec, {0.25 * knee, 0.6 * knee}, {}, &pool);
+    const auto upper =
+        core::measure_sweep(spec, {1.25 * knee, 1.7 * knee}, {}, &pool);
+    historical.calibrate_established(name, core::to_data_points(lower),
+                                     core::to_data_points(upper), max);
+  }
+  historical.register_new_server("AppServS", max_s);
+
+  for (const double goal_ms : {300.0, 600.0}) {
+    std::cout << "-- SLA goal: mean response time <= " << goal_ms << " ms --\n";
+    util::Table table({"architecture", "historical", "lqn", "hybrid",
+                       "lqn_search_evals"});
+    for (const char* server : {"AppServS", "AppServF", "AppServVF"}) {
+      const auto h = historical.max_clients_for_goal(server, goal_ms / 1e3);
+      const auto l = lqn.max_clients_for_goal(server, goal_ms / 1e3);
+      const auto y = hybrid.max_clients_for_goal(server, goal_ms / 1e3);
+      table.add_row({server, util::fmt(h.max_clients, 0),
+                     util::fmt(l.max_clients, 0), util::fmt(y.max_clients, 0),
+                     std::to_string(l.prediction_evaluations)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "historical/hybrid invert their equations once; the layered "
+               "method bisects (column of solver evaluations).\n";
+  return 0;
+}

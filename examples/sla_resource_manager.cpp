@@ -1,0 +1,103 @@
+// SLA-driven resource management: run Algorithm 1 over the paper's
+// 16-server pool, inspect the allocation it produces, and tune the slack
+// knob — an end-to-end tour of epp::rm on top of the prediction stack.
+#include <iostream>
+
+#include "core/evaluation.hpp"
+#include "core/historical_predictor.hpp"
+#include "core/hybrid_predictor.hpp"
+#include "hydra/relationships.hpp"
+#include "rm/manager.hpp"
+#include "rm/runtime.hpp"
+#include "rm/tuning.hpp"
+#include "sim/trade/testbed.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace epp;
+  std::cout << "EPP resource manager demo: 16 servers, 3 SLA classes\n\n";
+  util::ThreadPool pool;
+
+  // Calibrate the planning model (hybrid) and the ground truth stand-in
+  // (historical calibrated from measurements), as in the paper's section 9.
+  const double max_s = sim::trade::measure_max_throughput(sim::trade::app_serv_s());
+  const double max_f = sim::trade::measure_max_throughput(sim::trade::app_serv_f());
+  const double max_vf = sim::trade::measure_max_throughput(sim::trade::app_serv_vf());
+  const core::TradeCalibration calibration = core::calibrate_lqn_from_testbed(7, &pool);
+
+  core::HybridPredictor planner(calibration);
+  for (const auto& arch : {core::arch_s(), core::arch_f(), core::arch_vf()})
+    planner.register_server(arch);
+
+  const auto grad = core::measure_sweep(sim::trade::app_serv_f(), {300.0, 600.0},
+                                        {}, &pool);
+  const double m =
+      hydra::fit_gradient({grad[0].clients, grad[1].clients},
+                          {grad[0].throughput_rps, grad[1].throughput_rps});
+  core::HistoricalPredictor truth(m);
+  for (const auto& [name, spec, max] :
+       {std::tuple{"AppServF", sim::trade::app_serv_f(), max_f},
+        std::tuple{"AppServVF", sim::trade::app_serv_vf(), max_vf}}) {
+    const double knee = max / m;
+    truth.calibrate_established(
+        name,
+        core::to_data_points(
+            core::measure_sweep(spec, {0.25 * knee, 0.6 * knee}, {}, &pool)),
+        core::to_data_points(
+            core::measure_sweep(spec, {1.25 * knee, 1.7 * knee}, {}, &pool)),
+        max);
+  }
+  truth.register_new_server("AppServS", max_s);
+  // Servers hosting buy clients need the mix relationship (relationship 3).
+  const double max_f_25 =
+      sim::trade::measure_max_throughput(sim::trade::app_serv_f(), 0.25, 11);
+  truth.calibrate_mix({0.0, 25.0}, {max_f, max_f_25});
+
+  // One allocation in detail.
+  const auto pool_servers = rm::standard_pool(max_s, max_f, max_vf);
+  const auto classes = rm::standard_classes(9000.0);
+  const rm::ResourceManager manager(planner, {1.1, 7.0, 1.0});
+  const rm::Allocation allocation = manager.allocate(classes, pool_servers);
+
+  std::cout << "-- allocation at 9000 clients, slack 1.1 --\n";
+  util::Table alloc({"server", "arch", "buy", "browse_high", "browse_low"});
+  for (std::size_t i = 0; i < pool_servers.size(); ++i) {
+    if (!allocation.server_used(i)) continue;
+    auto cell = [&](const char* cls) {
+      const auto it = allocation.per_server[i].find(cls);
+      return it == allocation.per_server[i].end() ? std::string("0")
+                                                  : util::fmt(it->second, 0);
+    };
+    alloc.add_row({std::to_string(i), pool_servers[i].arch, cell("buy"),
+                   cell("browse_high"), cell("browse_low")});
+  }
+  alloc.print(std::cout);
+  std::cout << "prediction evaluations: " << allocation.prediction_evaluations
+            << ", unallocated (scaled): "
+            << util::fmt(allocation.unallocated_scaled, 0) << "\n\n";
+
+  const rm::RuntimeOutcome outcome =
+      rm::evaluate_runtime(allocation, classes, pool_servers, truth, {});
+  std::cout << "runtime outcome: " << util::fmt(outcome.sla_failure_pct, 2)
+            << "% SLA failures, " << util::fmt(outcome.server_usage_pct, 1)
+            << "% server usage, " << outcome.servers_used << " servers used\n\n";
+
+  // Slack tuning summary.
+  rm::TuningConfig config;
+  config.planner = &planner;
+  config.truth = &truth;
+  config.pool = pool_servers;
+  for (double load = 2000.0; load <= 18000.0; load += 2000.0)
+    config.loads.push_back(load);
+  std::cout << "-- slack tuning (averages across loads below 100% usage) --\n";
+  util::Table tune({"slack", "avg_sla_failure_pct", "avg_server_usage_pct"});
+  for (double slack : {1.2, 1.1, 1.0, 0.9, 0.8}) {
+    const auto points = rm::sweep_slack(config, {slack}, 0.0, &pool);
+    tune.add_row({util::fmt(slack, 1),
+                  util::fmt(points[0].avg_sla_failure_pct, 2),
+                  util::fmt(points[0].avg_server_usage_pct, 1)});
+  }
+  tune.print(std::cout);
+  return 0;
+}

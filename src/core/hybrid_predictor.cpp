@@ -1,0 +1,103 @@
+#include "core/hybrid_predictor.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "hydra/relationships.hpp"
+#include "util/timer.hpp"
+
+namespace epp::core {
+
+HybridPredictor::HybridPredictor(TradeCalibration calibration,
+                                 double think_time_s,
+                                 lqn::SolverOptions solver_options)
+    : lqn_(calibration, solver_options), think_time_s_(think_time_s) {}
+
+void HybridPredictor::register_server(const ServerArch& server) {
+  lqn_.register_server(server);
+}
+
+std::string HybridPredictor::key(const std::string& server,
+                                 double buy_fraction) {
+  // Bucket the mix to whole buy-percentage points so nearby queries share
+  // one calibration.
+  const int bucket = static_cast<int>(std::lround(buy_fraction * 100.0));
+  return server + "@buy" + std::to_string(bucket);
+}
+
+const hydra::Relationship1& HybridPredictor::ensure_calibrated(
+    const std::string& server, double buy_fraction) const {
+  const std::string k = key(server, buy_fraction);
+  const std::lock_guard lock(mutex_);
+  const auto it = fits_.find(k);
+  if (it != fits_.end()) return it->second;
+
+  const util::Timer timer;
+  // Gradient m from a light-load LQN solve: X = N / (Z + R_light).
+  const double n_light = 10.0;
+  const hydra::DataPoint light =
+      lqn_.pseudo_point(server, n_light, buy_fraction, think_time_s_);
+  const double gradient = 1.0 / (think_time_s_ + light.metric_s);
+  // Max throughput from the LQN bottleneck bound locates the knee.
+  const double max_tput = lqn_.predict_max_throughput_rps(server, buy_fraction);
+  const double n_star = max_tput / gradient;
+
+  std::vector<hydra::DataPoint> lower, upper;
+  for (const double fraction : kLowerFractions)
+    lower.push_back(lqn_.pseudo_point(server, fraction * n_star, buy_fraction,
+                                      think_time_s_));
+  for (const double fraction : kUpperFractions)
+    upper.push_back(lqn_.pseudo_point(server, fraction * n_star, buy_fraction,
+                                      think_time_s_));
+  const hydra::Relationship1 fit =
+      hydra::fit_relationship1(lower, upper, max_tput, gradient);
+  startup_delay_[server] += timer.elapsed_seconds();
+  return fits_.emplace(k, fit).first->second;
+}
+
+double HybridPredictor::predict_mean_rt_s(const std::string& server,
+                                          const WorkloadSpec& workload) const {
+  return ensure_calibrated(server, workload.buy_fraction())
+      .predict_metric(workload.total_clients());
+}
+
+double HybridPredictor::predict_throughput_rps(
+    const std::string& server, const WorkloadSpec& workload) const {
+  return ensure_calibrated(server, workload.buy_fraction())
+      .predict_throughput(workload.total_clients());
+}
+
+double HybridPredictor::predict_max_throughput_rps(const std::string& server,
+                                                   double buy_fraction) const {
+  return ensure_calibrated(server, buy_fraction).max_throughput_rps;
+}
+
+bool HybridPredictor::predicts_saturated(const std::string& server,
+                                         const WorkloadSpec& workload) const {
+  const hydra::Relationship1& rel =
+      ensure_calibrated(server, workload.buy_fraction());
+  return workload.total_clients() >= rel.clients_at_max_throughput();
+}
+
+CapacityResult HybridPredictor::max_clients_for_goal(
+    const std::string& server, double goal_s, double buy_fraction,
+    double /*think_time_s*/) const {
+  CapacityResult result;
+  result.prediction_evaluations = 1;  // closed-form once calibrated
+  result.max_clients =
+      ensure_calibrated(server, buy_fraction).clients_for_metric(goal_s);
+  return result;
+}
+
+std::size_t HybridPredictor::calibrations() const {
+  const std::lock_guard lock(mutex_);
+  return fits_.size();
+}
+
+double HybridPredictor::startup_delay_s(const std::string& server) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = startup_delay_.find(server);
+  return it == startup_delay_.end() ? 0.0 : it->second;
+}
+
+}  // namespace epp::core

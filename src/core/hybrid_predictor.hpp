@@ -1,0 +1,80 @@
+// The hybrid method as a Predictor (paper section 6).
+//
+// An "advanced" hybrid model: the first time a prediction is needed for a
+// (server architecture, workload mix) pair, the layered queuing model
+// generates a handful of pseudo-historical data points (2 lower + 2 upper)
+// and calibrates a historical relationship-1 fit for that pair — the
+// "start-up delay". All subsequent predictions go through the closed-form
+// historical equations and are near-instant.
+//
+// Relationship 2 is not used (the LQN generates data for each specific
+// architecture, so every architecture is effectively "established"), and
+// relationship 3 is itself calibrated from LQN max-throughput predictions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/lqn_predictor.hpp"
+#include "core/predictor.hpp"
+#include "hydra/model.hpp"
+
+namespace epp::core {
+
+class HybridPredictor final : public Predictor {
+ public:
+  HybridPredictor(TradeCalibration calibration, double think_time_s = 7.0,
+                  lqn::SolverOptions solver_options = {});
+
+  void register_server(const ServerArch& server);
+  bool has_server(const std::string& name) const {
+    return lqn_.has_server(name);
+  }
+
+  std::string name() const override { return "hybrid"; }
+  double predict_mean_rt_s(const std::string& server,
+                           const WorkloadSpec& workload) const override;
+  double predict_throughput_rps(const std::string& server,
+                                const WorkloadSpec& workload) const override;
+  double predict_max_throughput_rps(const std::string& server,
+                                    double buy_fraction) const override;
+  bool predicts_saturated(const std::string& server,
+                          const WorkloadSpec& workload) const override;
+  CapacityResult max_clients_for_goal(const std::string& server,
+                                      double goal_s, double buy_fraction = 0.0,
+                                      double think_time_s = 7.0) const override;
+
+  /// Wall-clock seconds spent generating pseudo-historical data for this
+  /// server across all mixes so far (the paper's ~11 s start-up delay; EPP's
+  /// solver is far faster, the *structure* of the cost is what matters).
+  double startup_delay_s(const std::string& server) const;
+  /// Number of calibrated (server, mix) relationship fits so far.
+  std::size_t calibrations() const;
+
+  const LqnPredictor& lqn() const noexcept { return lqn_; }
+
+ private:
+  /// Pseudo-data-point client positions relative to the max-throughput
+  /// load (2 lower + 2 upper, the minimal calibration section 4.2 showed
+  /// to be sufficient).
+  static constexpr double kLowerFractions[2] = {0.25, 0.60};
+  static constexpr double kUpperFractions[2] = {1.25, 1.70};
+
+  const hydra::Relationship1& ensure_calibrated(const std::string& server,
+                                                double buy_fraction) const;
+  static std::string key(const std::string& server, double buy_fraction);
+
+  LqnPredictor lqn_;
+  double think_time_s_;
+  // Lazily generated per (server, mix-bucket) fits and their build cost.
+  // Guarded by mutex_: predictions are issued concurrently from sweep
+  // thread pools (e.g. the resource-manager tuning figures). std::map
+  // node stability keeps returned references valid after unlocking.
+  mutable std::mutex mutex_;
+  mutable std::map<std::string, hydra::Relationship1> fits_;
+  mutable std::map<std::string, double> startup_delay_;
+};
+
+}  // namespace epp::core

@@ -1,0 +1,95 @@
+#include "hydra/model.hpp"
+
+#include <stdexcept>
+
+namespace epp::hydra {
+
+HistoricalModel::HistoricalModel(double gradient_m) : gradient_m_(gradient_m) {
+  if (gradient_m <= 0.0)
+    throw std::invalid_argument("HistoricalModel: gradient must be positive");
+}
+
+void HistoricalModel::add_established(const std::string& name,
+                                      const std::vector<DataPoint>& lower,
+                                      const std::vector<DataPoint>& upper,
+                                      double max_throughput_rps) {
+  servers_[name] =
+      fit_relationship1(lower, upper, max_throughput_rps, gradient_m_);
+  established_.push_back(name);
+  if (established_.size() >= 2) {
+    std::vector<Relationship1> fits;
+    for (const std::string& established : established_)
+      fits.push_back(servers_.at(established));
+    rel2_ = fit_relationship2(fits);
+  }
+}
+
+void HistoricalModel::add_calibrated(const std::string& name,
+                                     const Relationship1& rel) {
+  servers_[name] = rel;
+}
+
+void HistoricalModel::add_new_server(const std::string& name,
+                                     double max_throughput_rps) {
+  servers_[name] = cross_server_fit().predict_for(max_throughput_rps, gradient_m_);
+}
+
+bool HistoricalModel::has_server(const std::string& name) const {
+  return servers_.count(name) != 0;
+}
+
+const Relationship1& HistoricalModel::server(const std::string& name) const {
+  const auto it = servers_.find(name);
+  if (it == servers_.end())
+    throw std::out_of_range("HistoricalModel: unknown server '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> HistoricalModel::servers() const {
+  std::vector<std::string> names;
+  names.reserve(servers_.size());
+  for (const auto& [name, _] : servers_) names.push_back(name);
+  return names;
+}
+
+const Relationship2& HistoricalModel::cross_server_fit() const {
+  if (!rel2_)
+    throw std::invalid_argument(
+        "fit_relationship2: need at least two established servers");
+  return *rel2_;
+}
+
+void HistoricalModel::calibrate_mix(const std::vector<double>& buy_pct,
+                                    const std::vector<double>& max_tput) {
+  mix_ = fit_relationship3(buy_pct, max_tput);
+}
+
+const Relationship3& HistoricalModel::mix_relationship() const {
+  if (!mix_)
+    throw std::logic_error("HistoricalModel: relationship 3 not calibrated");
+  return *mix_;
+}
+
+double HistoricalModel::predict_metric(const std::string& name,
+                                       double clients) const {
+  return server(name).predict_metric(clients);
+}
+
+double HistoricalModel::predict_throughput(const std::string& name,
+                                           double clients) const {
+  return server(name).predict_throughput(clients);
+}
+
+double HistoricalModel::max_clients_for_metric(const std::string& name,
+                                               double goal_s) const {
+  return server(name).clients_for_metric(goal_s);
+}
+
+double HistoricalModel::predict_max_throughput(const std::string& name,
+                                               double buy_pct) const {
+  if (!mix_)
+    throw std::logic_error("HistoricalModel: relationship 3 not calibrated");
+  return mix_->predict(buy_pct, server(name).max_throughput_rps);
+}
+
+}  // namespace epp::hydra

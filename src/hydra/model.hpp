@@ -1,0 +1,79 @@
+// The HYDRA historical model: a store of per-server relationship fits plus
+// the cross-server (relationship 2) and workload-mix (relationship 3)
+// extrapolations. This is the "historical method" predictor's brain; the
+// epp::core::HistoricalPredictor feeds it measured (or, for the hybrid
+// method, LQN-generated) data points.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hydra/relationships.hpp"
+
+namespace epp::hydra {
+
+class HistoricalModel {
+ public:
+  /// gradient_m: the clients->throughput slope shared by all servers (it
+  /// depends on the think time but not on server CPU speed; 0.14 in the
+  /// paper's setup).
+  explicit HistoricalModel(double gradient_m);
+
+  double gradient_m() const noexcept { return gradient_m_; }
+
+  /// Calibrate an established server from historical data points (>= 2 on
+  /// each side of max throughput) and its measured max throughput.
+  void add_established(const std::string& name,
+                       const std::vector<DataPoint>& lower,
+                       const std::vector<DataPoint>& upper,
+                       double max_throughput_rps);
+
+  /// Register a server with pre-fitted relationship-1 parameters (used by
+  /// the advanced hybrid model, which generates per-architecture data).
+  void add_calibrated(const std::string& name, const Relationship1& rel);
+
+  /// Register a *new* architecture from just its benchmarked max
+  /// throughput; relationship 2 (fitted over the established servers)
+  /// supplies the response-time parameters. Needs >= 2 established servers.
+  void add_new_server(const std::string& name, double max_throughput_rps);
+
+  bool has_server(const std::string& name) const;
+  const Relationship1& server(const std::string& name) const;
+  std::vector<std::string> servers() const;
+
+  /// The relationship-2 fit over the established servers. Recomputed
+  /// eagerly whenever an established server is added, so concurrent
+  /// readers never observe a half-built fit; throws std::invalid_argument
+  /// while fewer than two established servers are calibrated.
+  const Relationship2& cross_server_fit() const;
+
+  /// Calibrate relationship 3 from (buy %, max throughput) points measured
+  /// on an established server.
+  void calibrate_mix(const std::vector<double>& buy_pct,
+                     const std::vector<double>& max_tput);
+  /// Restore a previously fitted mix relationship (deserialisation).
+  void set_mix(const Relationship3& mix) { mix_ = mix; }
+  bool has_mix_calibration() const noexcept { return mix_.has_value(); }
+  /// The fitted relationship 3; throws std::logic_error if absent.
+  const Relationship3& mix_relationship() const;
+
+  // --- predictions ---------------------------------------------------------
+  double predict_metric(const std::string& name, double clients) const;
+  double predict_throughput(const std::string& name, double clients) const;
+  /// Max clients that keep the metric at or under `goal` (SLA capacity).
+  double max_clients_for_metric(const std::string& name, double goal_s) const;
+  /// Relationship 3: max throughput at a buy percentage, scaled to the
+  /// named server's typical-workload max throughput.
+  double predict_max_throughput(const std::string& name, double buy_pct) const;
+
+ private:
+  double gradient_m_;
+  std::map<std::string, Relationship1> servers_;
+  std::vector<std::string> established_;
+  std::optional<Relationship2> rel2_;  // eager; see cross_server_fit()
+  std::optional<Relationship3> mix_;
+};
+
+}  // namespace epp::hydra

@@ -1,0 +1,189 @@
+#include "hydra/relationships.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace epp::hydra {
+namespace {
+
+/// Exponential curve through two points (used for the transition phasing).
+struct TwoPointExp {
+  double coeff, rate;
+  double operator()(double x) const { return coeff * std::exp(rate * x); }
+};
+
+TwoPointExp exp_through(double x1, double y1, double x2, double y2) {
+  if (y1 <= 0.0 || y2 <= 0.0 || x1 == x2)
+    throw std::domain_error("transition: degenerate endpoints");
+  const double rate = std::log(y2 / y1) / (x2 - x1);
+  const double coeff = y1 * std::exp(-rate * x1);
+  return {coeff, rate};
+}
+
+}  // namespace
+
+double Relationship1::clients_at_max_throughput() const {
+  if (gradient_m <= 0.0)
+    throw std::domain_error("Relationship1: non-positive gradient");
+  return max_throughput_rps / gradient_m;
+}
+
+double Relationship1::predict_metric(double clients) const {
+  if (clients < 0.0)
+    throw std::invalid_argument("Relationship1: negative clients");
+  const double n_star = clients_at_max_throughput();
+  const double n1 = transition_lo * n_star;
+  const double n2 = transition_hi * n_star;
+  const auto lower = [&](double n) {
+    return c_lower * std::exp(lambda_lower * n);
+  };
+  const auto upper = [&](double n) { return lambda_upper * n + c_upper; };
+  if (clients <= n1) return lower(clients);
+  if (clients >= n2) return upper(clients);
+  // A degenerate band (lo >= hi) means "no transition relationship": hard
+  // switch at the max-throughput load, taking the larger equation so the
+  // curve stays monotone.
+  if (n2 <= n1) return std::max(lower(clients), upper(clients));
+  // Exponential phasing between the two equations across the band.
+  const TwoPointExp transition = exp_through(n1, lower(n1), n2, upper(n2));
+  return transition(clients);
+}
+
+double Relationship1::predict_throughput(double clients) const {
+  if (clients < 0.0)
+    throw std::invalid_argument("Relationship1: negative clients");
+  return std::min(gradient_m * clients, max_throughput_rps);
+}
+
+double Relationship1::clients_for_metric(double metric_s) const {
+  if (metric_s <= 0.0)
+    throw std::invalid_argument("Relationship1: non-positive metric goal");
+  if (metric_s <= predict_metric(0.0)) return 0.0;
+  // Bracket then bisect: predict_metric is monotone non-decreasing.
+  double lo = 0.0, hi = std::max(1.0, clients_at_max_throughput());
+  while (predict_metric(hi) < metric_s) {
+    hi *= 2.0;
+    if (hi > 1e12)
+      throw std::domain_error("Relationship1: goal unreachable");
+  }
+  for (int i = 0; i < 200 && hi - lo > 1e-6 * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (predict_metric(mid) < metric_s ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+Relationship1 fit_relationship1(const std::vector<DataPoint>& lower,
+                                const std::vector<DataPoint>& upper,
+                                double max_throughput_rps, double gradient_m) {
+  if (lower.size() < 2 || upper.size() < 2)
+    throw std::invalid_argument(
+        "fit_relationship1: need at least two data points per equation");
+  if (max_throughput_rps <= 0.0 || gradient_m <= 0.0)
+    throw std::invalid_argument(
+        "fit_relationship1: max throughput and gradient must be positive");
+
+  std::vector<double> xs, ys;
+  for (const DataPoint& p : lower) {
+    xs.push_back(p.clients);
+    ys.push_back(p.metric_s);
+  }
+  const util::ExponentialFit low = util::fit_exponential(xs, ys);
+
+  xs.clear();
+  ys.clear();
+  for (const DataPoint& p : upper) {
+    xs.push_back(p.clients);
+    ys.push_back(p.metric_s);
+  }
+  const util::LinearFit up = util::fit_linear(xs, ys);
+
+  Relationship1 rel;
+  rel.c_lower = low.coeff;
+  // A flat or (noisy) slightly decreasing lower trend is clamped to a tiny
+  // positive rate so the prediction curve stays monotone.
+  rel.lambda_lower = std::max(low.rate, 1e-12);
+  rel.lambda_upper = up.slope;
+  rel.c_upper = up.intercept;
+  rel.max_throughput_rps = max_throughput_rps;
+  rel.gradient_m = gradient_m;
+  if (rel.lambda_upper <= 0.0)
+    throw std::invalid_argument(
+        "fit_relationship1: upper equation must have positive slope");
+  return rel;
+}
+
+double fit_gradient(const std::vector<double>& clients,
+                    const std::vector<double>& throughput) {
+  if (clients.size() != throughput.size() || clients.empty())
+    throw std::invalid_argument("fit_gradient: bad inputs");
+  // Least squares through the origin: m = sum(x y) / sum(x^2).
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    sxy += clients[i] * throughput[i];
+    sxx += clients[i] * clients[i];
+  }
+  if (sxx == 0.0) throw std::invalid_argument("fit_gradient: zero clients");
+  return sxy / sxx;
+}
+
+Relationship1 Relationship2::predict_for(double max_throughput_rps,
+                                         double gradient_m) const {
+  Relationship1 rel;
+  rel.c_lower = c_lower_vs_max_tput(max_throughput_rps);
+  rel.lambda_lower = std::max(lambda_lower_vs_max_tput(max_throughput_rps), 1e-12);
+  rel.lambda_upper = lambda_upper_times_max_tput / max_throughput_rps;
+  rel.c_upper = c_upper_mean;
+  rel.max_throughput_rps = max_throughput_rps;
+  rel.gradient_m = gradient_m;
+  if (rel.c_lower <= 0.0)
+    // Extrapolating far outside the calibrated range can cross zero; clamp
+    // to the smallest plausible base response time rather than go negative.
+    rel.c_lower = 1e-6;
+  return rel;
+}
+
+Relationship2 fit_relationship2(const std::vector<Relationship1>& servers) {
+  if (servers.size() < 2)
+    throw std::invalid_argument(
+        "fit_relationship2: need at least two established servers");
+  std::vector<double> mx, cl, ll;
+  double k = 0.0, cu = 0.0;
+  for (const Relationship1& s : servers) {
+    mx.push_back(s.max_throughput_rps);
+    cl.push_back(s.c_lower);
+    ll.push_back(s.lambda_lower);
+    k += s.lambda_upper * s.max_throughput_rps;
+    cu += s.c_upper;
+  }
+  Relationship2 rel;
+  rel.c_lower_vs_max_tput = util::fit_linear(mx, cl);
+  rel.lambda_lower_vs_max_tput = util::fit_power(mx, ll);
+  rel.lambda_upper_times_max_tput = k / static_cast<double>(servers.size());
+  rel.c_upper_mean = cu / static_cast<double>(servers.size());
+  return rel;
+}
+
+double Relationship3::established(double buy_pct) const {
+  return max_tput_vs_buy_pct(buy_pct);
+}
+
+double Relationship3::predict(double buy_pct,
+                              double new_server_max_at_typical) const {
+  const double at_typical = established(0.0);
+  if (at_typical <= 0.0)
+    throw std::domain_error("Relationship3: non-positive typical throughput");
+  return established(buy_pct) * new_server_max_at_typical / at_typical;
+}
+
+Relationship3 fit_relationship3(const std::vector<double>& buy_pct,
+                                const std::vector<double>& max_tput) {
+  if (buy_pct.size() < 2)
+    throw std::invalid_argument("fit_relationship3: need >= 2 points");
+  Relationship3 rel;
+  rel.max_tput_vs_buy_pct = util::fit_linear(buy_pct, max_tput);
+  return rel;
+}
+
+}  // namespace epp::hydra

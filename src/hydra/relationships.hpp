@@ -1,0 +1,109 @@
+// The HYDRA historical method's trend relationships (paper section 4).
+//
+// The method reduces a server's performance behaviour to three fitted
+// relationships, each calibrated from a small number of historical data
+// points (the paper shows 2 lower + 2 upper points of 50 samples each are
+// enough):
+//
+//   Relationship 1 — number of clients -> mean response time, as a "lower"
+//     exponential equation before max throughput, an "upper" linear
+//     equation after it, and an exponential "transition" phasing between
+//     66% and 110% of the max-throughput load. A companion linear
+//     clients -> throughput relationship (gradient m, 0.14 in the paper)
+//     locates the max-throughput load.
+//
+//   Relationship 2 — the effect of a server's max throughput on the
+//     relationship-1 parameters: cL is linear in max throughput, lambdaL a
+//     power law, lambdaU scales as 1/max-throughput and cU is constant.
+//     This is what lets the model predict *new* server architectures from
+//     a single benchmarked max throughput.
+//
+//   Relationship 3 — buy-request percentage -> max throughput: linear on
+//     an established server, ratio-scaled to a new one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/regression.hpp"
+
+namespace epp::hydra {
+
+/// One historical observation: the chosen metric (mean response time by
+/// default) at a number of clients, averaged over `samples` samples.
+struct DataPoint {
+  double clients = 0.0;
+  double metric_s = 0.0;  // e.g. mean response time in seconds
+  std::size_t samples = 0;
+};
+
+/// Calibrated relationship-1 parameters for one server.
+struct Relationship1 {
+  // Lower (pre-max-throughput) equation: mrt = c_lower * exp(lambda_lower*N).
+  double c_lower = 0.0;
+  double lambda_lower = 0.0;
+  // Upper (post-max-throughput) equation: mrt = lambda_upper * N + c_upper.
+  double lambda_upper = 0.0;
+  double c_upper = 0.0;
+  // Companion throughput relationship: X(N) = min(gradient_m * N, max).
+  double max_throughput_rps = 0.0;
+  double gradient_m = 0.0;
+  // Transition band, as fractions of the max-throughput load.
+  double transition_lo = 0.66;
+  double transition_hi = 1.10;
+
+  /// Clients at which the server reaches max throughput.
+  double clients_at_max_throughput() const;
+
+  /// Mean-metric prediction with lower/transition/upper selection.
+  double predict_metric(double clients) const;
+  /// Throughput prediction: linear up to max throughput, flat after.
+  double predict_throughput(double clients) const;
+  /// Inverse of predict_metric (bisection; the curve is monotone). Used for
+  /// "the maximum number of clients an SLA-constrained server can support".
+  double clients_for_metric(double metric_s) const;
+};
+
+/// Fit relationship 1 from lower/upper data points plus the server's max
+/// throughput and throughput gradient. Requires >= 2 points on each side.
+Relationship1 fit_relationship1(const std::vector<DataPoint>& lower,
+                                const std::vector<DataPoint>& upper,
+                                double max_throughput_rps, double gradient_m);
+
+/// Fit the clients->throughput gradient m by least squares through the
+/// origin on pre-saturation (clients, throughput) observations.
+double fit_gradient(const std::vector<double>& clients,
+                    const std::vector<double>& throughput);
+
+/// Calibrated relationship-2 parameters across established servers.
+struct Relationship2 {
+  util::LinearFit c_lower_vs_max_tput;   // cL = Delta(cL)*mx + C(cL)
+  util::PowerFit lambda_lower_vs_max_tput;  // lL = C(lL)*mx^Delta(lL)
+  double lambda_upper_times_max_tput = 0.0;  // lU ~ k / mx
+  double c_upper_mean = 0.0;                 // cU roughly constant
+
+  /// Derive relationship-1 parameters for a (new) server from its
+  /// benchmarked max throughput.
+  Relationship1 predict_for(double max_throughput_rps, double gradient_m) const;
+};
+
+/// Fit relationship 2 from >= 2 established servers' relationship-1 fits.
+Relationship2 fit_relationship2(const std::vector<Relationship1>& servers);
+
+/// Calibrated relationship-3 parameters.
+struct Relationship3 {
+  util::LinearFit max_tput_vs_buy_pct;  // on the established server
+
+  /// Max throughput of the established server at buy percentage b.
+  double established(double buy_pct) const;
+  /// Max throughput of a new server at buy percentage b, given its typical
+  /// (0% buy) max throughput: mxN(b) = mxE(b) * mxN(0) / mxE(0).
+  double predict(double buy_pct, double new_server_max_at_typical) const;
+};
+
+/// Fit relationship 3 from (buy %, max throughput) observations on an
+/// established server. Requires >= 2 points including b = 0.
+Relationship3 fit_relationship3(const std::vector<double>& buy_pct,
+                                const std::vector<double>& max_tput);
+
+}  // namespace epp::hydra

@@ -1,0 +1,90 @@
+#include "hydra/serialize.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace epp::hydra {
+
+std::string to_text(const HistoricalModel& model) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "hydra-model v1\n";
+  os << "gradient " << model.gradient_m() << '\n';
+  for (const std::string& name : model.servers()) {
+    const Relationship1& rel = model.server(name);
+    os << "server " << name << ' ' << rel.c_lower << ' ' << rel.lambda_lower
+       << ' ' << rel.lambda_upper << ' ' << rel.c_upper << ' '
+       << rel.max_throughput_rps << ' ' << rel.gradient_m << ' '
+       << rel.transition_lo << ' ' << rel.transition_hi << '\n';
+  }
+  if (model.has_mix_calibration()) {
+    const Relationship3& mix = model.mix_relationship();
+    os << "mix " << mix.max_tput_vs_buy_pct.slope << ' '
+       << mix.max_tput_vs_buy_pct.intercept << '\n';
+  }
+  return os.str();
+}
+
+HistoricalModel model_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) -> void {
+    throw std::invalid_argument("hydra model parse error, line " +
+                                std::to_string(line_no) + ": " + message);
+  };
+
+  if (!std::getline(is, line)) {
+    line_no = 1;
+    fail("empty input");
+  }
+  ++line_no;
+  if (line != "hydra-model v1") fail("bad header '" + line + "'");
+
+  double gradient = 0.0;
+  bool have_gradient = false;
+  std::vector<std::pair<std::string, Relationship1>> servers;
+  bool have_mix = false;
+  Relationship3 mix;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "gradient") {
+      if (!(ls >> gradient) || gradient <= 0.0) fail("bad gradient");
+      have_gradient = true;
+    } else if (kind == "server") {
+      std::string name;
+      Relationship1 rel;
+      if (!(ls >> name >> rel.c_lower >> rel.lambda_lower >> rel.lambda_upper >>
+            rel.c_upper >> rel.max_throughput_rps >> rel.gradient_m >>
+            rel.transition_lo >> rel.transition_hi))
+        fail("bad server record");
+      if (rel.max_throughput_rps <= 0.0 || rel.gradient_m <= 0.0)
+        fail("non-positive server parameters");
+      servers.emplace_back(std::move(name), rel);
+    } else if (kind == "mix") {
+      if (!(ls >> mix.max_tput_vs_buy_pct.slope >>
+            mix.max_tput_vs_buy_pct.intercept))
+        fail("bad mix record");
+      have_mix = true;
+    } else {
+      fail("unknown record '" + kind + "'");
+    }
+  }
+  if (!have_gradient) {
+    ++line_no;
+    fail("missing gradient record");
+  }
+
+  HistoricalModel model(gradient);
+  for (auto& [name, rel] : servers) model.add_calibrated(name, rel);
+  if (have_mix) model.set_mix(mix);
+  return model;
+}
+
+}  // namespace epp::hydra

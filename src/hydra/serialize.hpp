@@ -1,0 +1,30 @@
+// Persistence for calibrated historical models.
+//
+// The system model's first support service lets servers be recalibrated
+// and the resulting model state saved ("to save modelling variables that
+// change infrequently ... or variables that are hard to measure"). This
+// serialises a HistoricalModel — gradient, per-server relationship-1
+// parameters and the relationship-3 mix fit — to a line-oriented text
+// format and back, so a resource manager can persist calibrations between
+// runs instead of re-measuring.
+//
+// Note: established-vs-derived provenance is not preserved; every loaded
+// server is registered via add_calibrated, which is sufficient for
+// prediction (relationship 2 can be refitted from fresh calibrations).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hydra/model.hpp"
+
+namespace epp::hydra {
+
+/// Serialise to text. Stable across round trips.
+std::string to_text(const HistoricalModel& model);
+
+/// Parse a model produced by to_text. Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+HistoricalModel model_from_text(const std::string& text);
+
+}  // namespace epp::hydra

@@ -1,0 +1,90 @@
+// The layered queuing solver: the EPP stand-in for LQNS.
+//
+// Solving proceeds in three steps:
+//   1. Flatten: per reference task (workload class), compute visit ratios
+//      through the call graph and accumulate per-processor service demands.
+//      For processor-sharing processors and exponential demands this
+//      flattening is exact for mean values (BCMP separability).
+//   2. Layer: task thread/connection pools that could constrain throughput
+//      below the processor bound get a surrogate multiserver station whose
+//      demand is the task's light-load execution time (own demand plus
+//      nested synchronous calls) — the layered correction.
+//   3. Solve the resulting closed multiclass network with MVA, using the
+//      configured convergence criterion (paper: 20 ms for LQNS).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lqn/model.hpp"
+#include "lqn/mva.hpp"
+
+namespace epp::lqn {
+
+struct SolverOptions {
+  /// Fixed-point stopping rule on per-class response times. The paper's
+  /// LQNS runs used 20 ms (0.020); EPP defaults tighter since its solver
+  /// is cheap, but experiments reproducing figure 3 set 0.020.
+  double convergence_tol_s = 1e-6;
+  int max_iterations = 100000;
+  /// Bound on the outer (software/hardware alternation) fixed point.
+  int max_layer_iterations = 50;
+  /// Use exact single-class MVA when applicable (integer population below
+  /// this bound). 0 disables; the default mirrors LQNS's approximate path.
+  std::size_t exact_population_limit = 0;
+  /// Model task thread-pool contention with surrogate multiserver stations
+  /// when the pool could constrain throughput.
+  bool model_task_contention = true;
+};
+
+struct ClassPrediction {
+  std::string name;           // reference task name
+  bool open = false;          // open (constant-rate) workload class?
+  double population = 0.0;    // closed classes
+  double think_time_s = 0.0;
+  double response_time_s = 0.0;  // mean, think time excluded
+  double throughput_rps = 0.0;   // open classes: the arrival rate
+};
+
+struct SolveResult {
+  std::vector<ClassPrediction> classes;
+  std::map<std::string, double> processor_utilization;  // per processor
+  std::map<std::string, double> task_utilization;       // per served task
+  int iterations = 0;
+  bool converged = false;
+  double solve_time_s = 0.0;
+
+  const ClassPrediction& cls(const std::string& name) const;
+  double response_time_s(const std::string& name) const {
+    return cls(name).response_time_s;
+  }
+  double throughput_rps(const std::string& name) const {
+    return cls(name).throughput_rps;
+  }
+  /// Workload-weighted mean response time across all classes.
+  double mean_response_time_s() const;
+  double total_throughput_rps() const;
+};
+
+class LayeredSolver {
+ public:
+  explicit LayeredSolver(SolverOptions options = {}) : options_(options) {}
+
+  const SolverOptions& options() const noexcept { return options_; }
+
+  /// Validate and solve. Throws std::invalid_argument on malformed models.
+  SolveResult solve(const Model& model) const;
+
+  /// Asymptotic total-throughput estimate (the LQN prediction of "max
+  /// throughput"): population -> infinity limit with class demands
+  /// weighted by population share. Because the realised mix at saturation
+  /// shifts toward cheaper classes, the true limit can exceed this by a
+  /// few percent on strongly heterogeneous mixes.
+  double max_throughput_bound_rps(const Model& model) const;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace epp::lqn

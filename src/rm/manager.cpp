@@ -1,0 +1,107 @@
+#include "rm/manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace epp::rm {
+
+ResourceManager::ResourceManager(const core::Predictor& predictor,
+                                 ManagerOptions options)
+    : predictor_(predictor), options_(options) {
+  if (options_.slack < 0.0)
+    throw std::invalid_argument("ResourceManager: negative slack");
+  if (options_.capacity_resolution <= 0.0)
+    throw std::invalid_argument("ResourceManager: bad capacity resolution");
+}
+
+double ResourceManager::additional_capacity(
+    const PoolServer& server, const std::map<std::string, double>& existing,
+    const std::vector<ServiceClassSpec>& all_classes,
+    const ServiceClassSpec& cls, int& prediction_evaluations) const {
+  double existing_total = 0.0, existing_buy = 0.0;
+  double goal = cls.rt_goal_s;
+  for (const ServiceClassSpec& c : all_classes) {
+    const auto it = existing.find(c.name);
+    if (it == existing.end() || it->second <= 0.0) continue;
+    existing_total += it->second;
+    if (c.is_buy) existing_buy += it->second;
+    goal = std::min(goal, c.rt_goal_s);
+  }
+
+  // The workload mix depends on how many clients end up added, so refine
+  // the capacity with a couple of fixed-point passes over the mix.
+  double extra = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const double total_guess = existing_total + extra;
+    const double buy_guess = existing_buy + (cls.is_buy ? extra : 0.0);
+    const double mix = total_guess > 0.0 ? buy_guess / total_guess
+                                         : (cls.is_buy ? 1.0 : 0.0);
+    const core::CapacityResult cap = predictor_.max_clients_for_goal(
+        server.arch, goal, mix, options_.think_time_s);
+    prediction_evaluations += cap.prediction_evaluations;
+    extra = std::max(0.0, cap.max_clients - existing_total);
+  }
+  return extra;
+}
+
+Allocation ResourceManager::allocate(
+    std::vector<ServiceClassSpec> classes,
+    const std::vector<PoolServer>& servers) const {
+  // Line 1: strictest response-time goal first; with insufficient servers
+  // the lower-priority (looser-goal) classes are rejected first.
+  std::sort(classes.begin(), classes.end(),
+            [](const ServiceClassSpec& a, const ServiceClassSpec& b) {
+              return a.rt_goal_s < b.rt_goal_s;
+            });
+
+  Allocation allocation;
+  allocation.slack = options_.slack;
+  allocation.per_server.resize(servers.size());
+
+  for (const ServiceClassSpec& cls : classes) {
+    double remaining = options_.slack * cls.clients;
+    while (remaining > 0.5 * options_.capacity_resolution) {
+      // Probe every server's predicted additional capacity for this class.
+      std::vector<double> capacity(servers.size());
+      for (std::size_t i = 0; i < servers.size(); ++i)
+        capacity[i] = additional_capacity(servers[i], allocation.per_server[i],
+                                          classes, cls,
+                                          allocation.prediction_evaluations);
+
+      // Greedy selection: most capacity wins... unless one server can
+      // finish the class, in which case take the *smallest* sufficient one
+      // (the paper's last-server exception).
+      std::size_t chosen = servers.size();
+      double chosen_cap = 0.0;
+      for (std::size_t i = 0; i < servers.size(); ++i) {
+        if (capacity[i] < remaining) continue;
+        if (chosen == servers.size() || capacity[i] < chosen_cap) {
+          chosen = i;
+          chosen_cap = capacity[i];
+        }
+      }
+      if (chosen == servers.size()) {
+        for (std::size_t i = 0; i < servers.size(); ++i) {
+          if (capacity[i] > chosen_cap) {
+            chosen = i;
+            chosen_cap = capacity[i];
+          }
+        }
+      }
+      if (chosen == servers.size() ||
+          chosen_cap < options_.capacity_resolution) {
+        allocation.unallocated_scaled += remaining;
+        allocation.unallocated_by_class[cls.name] += remaining;
+        break;  // line 8: no server has available capacity for this class
+      }
+      const double take = std::min(chosen_cap, remaining);
+      allocation.per_server[chosen][cls.name] += take;
+      remaining -= take;
+    }
+  }
+  return allocation;
+}
+
+}  // namespace epp::rm

@@ -1,0 +1,52 @@
+// Algorithm 1: the prediction-enhanced resource-management algorithm.
+//
+//   1. sort the service classes in order of increasing response time goal
+//   2-8. greedily allocate each class's clients to application servers,
+//        selecting the server the performance model predicts can take the
+//        most clients of the current class — except for the class's last
+//        server, where the smallest sufficient server is chosen instead.
+//
+// The "slack" parameter multiplies each class's client count before
+// allocation; it is the paper's tuning knob for compensating predictive
+// inaccuracy and trading SLA failures against server usage (section 9).
+#pragma once
+
+#include "core/predictor.hpp"
+#include "rm/types.hpp"
+
+namespace epp::rm {
+
+struct ManagerOptions {
+  double slack = 1.0;
+  double think_time_s = 7.0;
+  /// Granularity of the capacity bisection in clients.
+  double capacity_resolution = 1.0;
+};
+
+class ResourceManager {
+ public:
+  /// The predictor is the (possibly inaccurate) model the manager plans
+  /// with — the paper uses the hybrid model here.
+  ResourceManager(const core::Predictor& predictor, ManagerOptions options);
+
+  const ManagerOptions& options() const noexcept { return options_; }
+
+  /// Run Algorithm 1 over the classes and servers.
+  Allocation allocate(std::vector<ServiceClassSpec> classes,
+                      const std::vector<PoolServer>& servers) const;
+
+  /// Predicted additional clients of `cls` that server i could take on top
+  /// of an existing allocation without the model predicting an SLA miss
+  /// for any class on the server (capacity probe used by the algorithm).
+  double additional_capacity(const PoolServer& server,
+                             const std::map<std::string, double>& existing,
+                             const std::vector<ServiceClassSpec>& all_classes,
+                             const ServiceClassSpec& cls,
+                             int& prediction_evaluations) const;
+
+ private:
+  const core::Predictor& predictor_;
+  ManagerOptions options_;
+};
+
+}  // namespace epp::rm

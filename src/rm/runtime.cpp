@@ -1,0 +1,84 @@
+#include "rm/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace epp::rm {
+
+RuntimeOutcome evaluate_runtime(const Allocation& allocation,
+                                const std::vector<ServiceClassSpec>& classes,
+                                const std::vector<PoolServer>& servers,
+                                const core::Predictor& truth,
+                                const RuntimeOptions& options) {
+  if (allocation.per_server.size() != servers.size())
+    throw std::invalid_argument("evaluate_runtime: allocation/pool mismatch");
+  if (allocation.slack < 0.0)
+    throw std::invalid_argument("evaluate_runtime: negative slack");
+
+  RuntimeOutcome outcome;
+  for (const ServiceClassSpec& c : classes) outcome.total_clients += c.clients;
+
+  if (allocation.slack == 0.0) {
+    // Zero slack allocates no servers at all: every client is rejected
+    // (the endpoint of the paper's figure-7 sweep).
+    outcome.rejected_clients = outcome.total_clients;
+    outcome.sla_failure_pct = outcome.total_clients > 0.0 ? 100.0 : 0.0;
+    return outcome;
+  }
+
+  double rejected = allocation.unallocated_scaled / allocation.slack;
+  double total_power = 0.0, used_power = 0.0;
+  std::vector<double> spare(servers.size(), 0.0);
+
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    total_power += servers[i].power_rps;
+    if (!allocation.server_used(i)) continue;
+    ++outcome.servers_used;
+    used_power += servers[i].power_rps;
+
+    // Real (unscaled) clients routed to this server and their mix/goal.
+    const double real_total = allocation.scaled_on_server(i) / allocation.slack;
+    const double real_buy =
+        allocation.buy_scaled_on_server(i, classes) / allocation.slack;
+    double goal = std::numeric_limits<double>::infinity();
+    for (const ServiceClassSpec& c : classes) {
+      const auto it = allocation.per_server[i].find(c.name);
+      if (it != allocation.per_server[i].end() && it->second > 0.0)
+        goal = std::min(goal, c.rt_goal_s);
+    }
+    const double effective_goal = goal * (1.0 - options.rejection_threshold);
+    const double mix = real_total > 0.0 ? real_buy / real_total : 0.0;
+    const double true_capacity =
+        truth
+            .max_clients_for_goal(servers[i].arch, effective_goal, mix,
+                                  options.think_time_s)
+            .max_clients;
+    const double accepted = std::min(real_total, true_capacity);
+    rejected += real_total - accepted;
+    spare[i] = true_capacity - accepted;
+  }
+
+  if (options.runtime_optimization && rejected > 0.0) {
+    // Any capacity the algorithm left on servers already allocated to this
+    // application can absorb overflow clients at runtime.
+    for (std::size_t i = 0; i < servers.size() && rejected > 0.0; ++i) {
+      if (!allocation.server_used(i)) continue;
+      const double absorbed = std::min(spare[i], rejected);
+      rejected -= absorbed;
+      spare[i] -= absorbed;
+    }
+  }
+
+  outcome.rejected_clients = std::max(0.0, rejected);
+  outcome.sla_failure_pct =
+      outcome.total_clients > 0.0
+          ? 100.0 * outcome.rejected_clients / outcome.total_clients
+          : 0.0;
+  outcome.server_usage_pct =
+      total_power > 0.0 ? 100.0 * used_power / total_power : 0.0;
+  return outcome;
+}
+
+}  // namespace epp::rm

@@ -1,0 +1,43 @@
+// Runtime evaluation of an allocation against the *real* system behaviour
+// (paper §9): servers reject clients when response times would come within
+// a threshold of missing SLA goals, and runtime optimisations let the
+// manager use any capacity the algorithm left spare on allocated servers.
+//
+// In the paper's experiments "the more accurate historical model is used
+// to represent the real system response times" — the truth predictor here
+// plays that role.
+#pragma once
+
+#include "core/predictor.hpp"
+#include "rm/types.hpp"
+
+namespace epp::rm {
+
+struct RuntimeOptions {
+  /// Servers reject clients once response times are within this fraction
+  /// of the SLA goal (0 = reject exactly at the goal).
+  double rejection_threshold = 0.0;
+  double think_time_s = 7.0;
+  /// Apply the spare-capacity runtime optimisation.
+  bool runtime_optimization = true;
+};
+
+struct RuntimeOutcome {
+  double total_clients = 0.0;
+  double rejected_clients = 0.0;
+  double sla_failure_pct = 0.0;   // % of clients rejected
+  double server_usage_pct = 0.0;  // % of pool processing power allocated
+  std::size_t servers_used = 0;
+};
+
+/// Evaluate the allocation: real clients (scaled counts divided by slack)
+/// arrive at their servers; each server accepts up to its *true* capacity
+/// for its strictest hosted goal; spare true capacity on used servers then
+/// absorbs rejected/unallocated clients if the optimisation is enabled.
+RuntimeOutcome evaluate_runtime(const Allocation& allocation,
+                                const std::vector<ServiceClassSpec>& classes,
+                                const std::vector<PoolServer>& servers,
+                                const core::Predictor& truth,
+                                const RuntimeOptions& options = {});
+
+}  // namespace epp::rm

@@ -1,0 +1,112 @@
+#include "rm/tuning.hpp"
+
+#include <stdexcept>
+
+namespace epp::rm {
+namespace {
+
+void check(const TuningConfig& config) {
+  if (config.planner == nullptr || config.truth == nullptr)
+    throw std::invalid_argument("TuningConfig: missing predictors");
+  if (config.pool.empty())
+    throw std::invalid_argument("TuningConfig: empty server pool");
+  if (config.loads.empty())
+    throw std::invalid_argument("TuningConfig: no loads to sweep");
+}
+
+LoadPoint evaluate_one(const TuningConfig& config, double slack, double load) {
+  ManagerOptions manager_options;
+  manager_options.slack = slack;
+  manager_options.think_time_s = config.think_time_s;
+  const ResourceManager manager(*config.planner, manager_options);
+  const auto classes = standard_classes(load);
+  const Allocation allocation = manager.allocate(classes, config.pool);
+  RuntimeOptions runtime = config.runtime;
+  runtime.think_time_s = config.think_time_s;
+  const RuntimeOutcome outcome =
+      evaluate_runtime(allocation, classes, config.pool, *config.truth, runtime);
+  return {load, outcome.sla_failure_pct, outcome.server_usage_pct};
+}
+
+}  // namespace
+
+std::vector<LoadPoint> sweep_loads(const TuningConfig& config, double slack,
+                                   util::ThreadPool* pool) {
+  check(config);
+  std::vector<LoadPoint> points(config.loads.size());
+  auto body = [&](std::size_t i) {
+    points[i] = evaluate_one(config, slack, config.loads[i]);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(points.size(), body);
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) body(i);
+  }
+  return points;
+}
+
+namespace {
+
+SlackPoint average_point(double slack, const std::vector<LoadPoint>& points) {
+  SlackPoint out;
+  out.slack = slack;
+  // "average ... values across all loads prior to 100% server usage".
+  double failures = 0.0, usage = 0.0;
+  std::size_t counted = 0;
+  for (const LoadPoint& p : points) {
+    if (p.server_usage_pct >= 100.0) break;
+    failures += p.sla_failure_pct;
+    usage += p.server_usage_pct;
+    ++counted;
+  }
+  if (counted > 0) {
+    out.avg_sla_failure_pct = failures / static_cast<double>(counted);
+    out.avg_server_usage_pct = usage / static_cast<double>(counted);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SlackPoint> sweep_slack(const TuningConfig& config,
+                                    const std::vector<double>& slacks,
+                                    double su_max_pct, util::ThreadPool* pool) {
+  check(config);
+  std::vector<SlackPoint> out(slacks.size());
+  auto body = [&](std::size_t i) {
+    // Loads are swept sequentially inside; slack levels fan out instead.
+    out[i] = average_point(slacks[i], sweep_loads(config, slacks[i], nullptr));
+    out[i].avg_usage_saving_pct = su_max_pct - out[i].avg_server_usage_pct;
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(out.size(), body);
+  } else {
+    for (std::size_t i = 0; i < out.size(); ++i) body(i);
+  }
+  return out;
+}
+
+ZeroFailurePoint find_min_zero_failure_slack(const TuningConfig& config,
+                                             const std::vector<double>& candidates,
+                                             util::ThreadPool* pool) {
+  check(config);
+  for (double slack : candidates) {
+    const auto points = sweep_loads(config, slack, pool);
+    bool all_zero = true;
+    for (const LoadPoint& p : points) {
+      if (p.server_usage_pct >= 100.0) break;
+      if (p.sla_failure_pct > 1e-9) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      const SlackPoint avg = average_point(slack, points);
+      return {slack, avg.avg_server_usage_pct};
+    }
+  }
+  throw std::domain_error(
+      "find_min_zero_failure_slack: no candidate achieved 0% failures");
+}
+
+}  // namespace epp::rm

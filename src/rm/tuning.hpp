@@ -1,0 +1,65 @@
+// Slack tuning of the resource manager (paper §9.1, figures 5-8): sweep
+// the load and the slack level, collect % SLA failures and % server usage,
+// and derive the average-cost trade-off curves.
+#pragma once
+
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "rm/manager.hpp"
+#include "rm/runtime.hpp"
+#include "rm/types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace epp::rm {
+
+struct TuningConfig {
+  const core::Predictor* planner = nullptr;  // the (less accurate) model
+  const core::Predictor* truth = nullptr;    // "real" behaviour stand-in
+  std::vector<PoolServer> pool;
+  std::vector<double> loads;  // total client counts to sweep
+  double think_time_s = 7.0;
+  RuntimeOptions runtime;
+};
+
+struct LoadPoint {
+  double total_clients = 0.0;
+  double sla_failure_pct = 0.0;
+  double server_usage_pct = 0.0;
+};
+
+/// Figures 5 & 6: the load sweep at one slack level (parallel over loads
+/// when a pool is supplied).
+std::vector<LoadPoint> sweep_loads(const TuningConfig& config, double slack,
+                                   util::ThreadPool* pool = nullptr);
+
+struct SlackPoint {
+  double slack = 0.0;
+  /// Averages across all loads prior to 100% server usage (the paper's
+  /// "average % SLA failure" and "% server usage" metrics).
+  double avg_sla_failure_pct = 0.0;
+  double avg_server_usage_pct = 0.0;
+  /// SUmax - avg usage, once SUmax is known (filled by sweep_slack).
+  double avg_usage_saving_pct = 0.0;
+};
+
+/// Figures 7 & 8: sweep slack levels; avg_usage_saving_pct is relative to
+/// su_max_pct (pass the usage at the minimum zero-failure slack).
+std::vector<SlackPoint> sweep_slack(const TuningConfig& config,
+                                    const std::vector<double>& slacks,
+                                    double su_max_pct,
+                                    util::ThreadPool* pool = nullptr);
+
+/// Find the minimum slack (within the candidates, ascending) giving 0% SLA
+/// failures at every load before 100% server usage, and report its average
+/// usage (SUmax). Returns {slack, avg usage} of the first qualifying
+/// candidate; throws if none qualifies.
+struct ZeroFailurePoint {
+  double slack = 0.0;
+  double su_max_pct = 0.0;
+};
+ZeroFailurePoint find_min_zero_failure_slack(
+    const TuningConfig& config, const std::vector<double>& candidates,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace epp::rm

@@ -1,0 +1,39 @@
+#include "rm/types.hpp"
+
+namespace epp::rm {
+
+double Allocation::scaled_on_server(std::size_t i) const {
+  double total = 0.0;
+  for (const auto& [_, clients] : per_server.at(i)) total += clients;
+  return total;
+}
+
+double Allocation::buy_scaled_on_server(
+    std::size_t i, const std::vector<ServiceClassSpec>& classes) const {
+  double buy = 0.0;
+  for (const ServiceClassSpec& c : classes) {
+    if (!c.is_buy) continue;
+    const auto it = per_server.at(i).find(c.name);
+    if (it != per_server.at(i).end()) buy += it->second;
+  }
+  return buy;
+}
+
+std::vector<PoolServer> standard_pool(double power_s, double power_f,
+                                      double power_vf) {
+  std::vector<PoolServer> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back({"AppServS", power_s});
+  for (int i = 0; i < 4; ++i) pool.push_back({"AppServF", power_f});
+  for (int i = 0; i < 4; ++i) pool.push_back({"AppServVF", power_vf});
+  return pool;
+}
+
+std::vector<ServiceClassSpec> standard_classes(double total_clients) {
+  return {
+      {"buy", 0.150, true, 0.10 * total_clients},
+      {"browse_high", 0.300, false, 0.45 * total_clients},
+      {"browse_low", 0.600, false, 0.45 * total_clients},
+  };
+}
+
+}  // namespace epp::rm

@@ -1,0 +1,50 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace epp::sim {
+
+Engine::Handle Engine::schedule_at(double time, Callback fn) {
+  if (time < now_)
+    throw std::invalid_argument("Engine::schedule_at: time in the past");
+  auto event = std::make_shared<Event>();
+  event->time = time;
+  event->seq = next_seq_++;
+  event->fn = std::move(fn);
+  heap_.push(event);
+  return event;
+}
+
+Engine::Handle Engine::schedule_after(double delay, Callback fn) {
+  if (delay < 0.0)
+    throw std::invalid_argument("Engine::schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    Handle event = heap_.top();
+    heap_.pop();
+    if (event->canceled) continue;
+    now_ = event->time;
+    ++processed_;
+    // Move the callback out so the event releases captured state promptly.
+    Callback fn = std::move(event->fn);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(double end_time) {
+  while (!heap_.empty() && heap_.top()->time <= end_time) step();
+  if (end_time > now_) now_ = end_time;
+}
+
+void Engine::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace epp::sim

@@ -1,0 +1,65 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event heap: deterministic given a fixed seed, cheap to
+// replicate, so the parallelism in EPP lives one level up (independent
+// replications and parameter sweeps on util::ThreadPool), which is the
+// standard way to scale stochastic discrete-event studies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace epp::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  // tie-break so equal-time events run FIFO
+    Callback fn;
+    bool canceled = false;
+  };
+  using Handle = std::shared_ptr<Event>;
+
+  double now() const noexcept { return now_; }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Schedule at an absolute time >= now(). Returns a handle usable with
+  /// cancel(); the handle may be discarded if cancellation is not needed.
+  Handle schedule_at(double time, Callback fn);
+  Handle schedule_after(double delay, Callback fn);
+
+  /// Cancel a pending event (no-op if already fired or canceled).
+  static void cancel(const Handle& handle) noexcept {
+    if (handle) handle->canceled = true;
+  }
+
+  /// Run the next pending event. Returns false when the heap is empty.
+  bool step();
+
+  /// Process every event with time <= end_time, then advance now() to it.
+  void run_until(double end_time);
+
+  /// Drain the entire event heap (useful for terminating workloads).
+  void run_all();
+
+ private:
+  struct Later {
+    bool operator()(const Handle& a, const Handle& b) const noexcept {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Handle, std::vector<Handle>, Later> heap_;
+};
+
+}  // namespace epp::sim

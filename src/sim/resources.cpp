@@ -1,0 +1,132 @@
+#include "sim/resources.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace epp::sim {
+
+PsResource::PsResource(Engine& engine, double speed, std::string name)
+    : engine_(engine), speed_(speed), name_(std::move(name)) {
+  if (speed <= 0.0) throw std::invalid_argument("PsResource: speed <= 0");
+  last_update_ = engine_.now();
+}
+
+void PsResource::advance_vtime() {
+  const double now = engine_.now();
+  if (!jobs_.empty()) {
+    const double dt = now - last_update_;
+    vtime_ += dt * speed_ / static_cast<double>(jobs_.size());
+    busy_time_ += dt;
+  }
+  last_update_ = now;
+}
+
+void PsResource::schedule_next_completion() {
+  Engine::cancel(pending_completion_);
+  pending_completion_.reset();
+  if (jobs_.empty()) return;
+  const double finish_v = jobs_.begin()->first;
+  const double dt =
+      (finish_v - vtime_) * static_cast<double>(jobs_.size()) / speed_;
+  pending_completion_ = engine_.schedule_after(std::max(0.0, dt), [this] {
+    advance_vtime();
+    // Numerical guard: the front job is complete by construction.
+    auto it = jobs_.begin();
+    Engine::Callback done = std::move(it->second.on_complete);
+    jobs_.erase(it);
+    schedule_next_completion();
+    done();
+  });
+}
+
+void PsResource::add_job(double demand, Engine::Callback on_complete) {
+  if (demand < 0.0) throw std::invalid_argument("PsResource: negative demand");
+  advance_vtime();
+  const double finish_v = vtime_ + demand;
+  jobs_.emplace(finish_v, Job{finish_v, next_seq_++, std::move(on_complete)});
+  schedule_next_completion();
+}
+
+double PsResource::utilization(double now) const {
+  if (now <= 0.0) return 0.0;
+  double busy = busy_time_;
+  if (!jobs_.empty()) busy += now - last_update_;
+  return busy / now;
+}
+
+FifoResource::FifoResource(Engine& engine, double speed, std::string name)
+    : engine_(engine), speed_(speed), name_(std::move(name)) {
+  if (speed <= 0.0) throw std::invalid_argument("FifoResource: speed <= 0");
+}
+
+void FifoResource::add_job(double demand, Engine::Callback on_complete) {
+  if (demand < 0.0) throw std::invalid_argument("FifoResource: negative demand");
+  queue_.push_back(Job{demand, std::move(on_complete)});
+  if (!busy_) start_next();
+}
+
+void FifoResource::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  busy_since_ = engine_.now();
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  engine_.schedule_after(job.demand / speed_,
+                         [this, done = std::move(job.on_complete)]() mutable {
+                           busy_time_ += engine_.now() - busy_since_;
+                           start_next();
+                           done();
+                         });
+}
+
+double FifoResource::utilization(double now) const {
+  if (now <= 0.0) return 0.0;
+  double busy = busy_time_;
+  if (busy_) busy += now - busy_since_;
+  return busy / now;
+}
+
+SlotPool::SlotPool(std::size_t capacity, std::size_t num_queues)
+    : capacity_(capacity), queues_(num_queues) {
+  if (capacity == 0) throw std::invalid_argument("SlotPool: zero capacity");
+  if (num_queues == 0) throw std::invalid_argument("SlotPool: zero queues");
+}
+
+void SlotPool::acquire(std::size_t queue, Engine::Callback on_acquired) {
+  if (queue >= queues_.size())
+    throw std::out_of_range("SlotPool: bad queue index");
+  if (in_use_ < capacity_) {
+    ++in_use_;
+    on_acquired();
+    return;
+  }
+  queues_[queue].push_back(std::move(on_acquired));
+}
+
+void SlotPool::release() {
+  if (in_use_ == 0) throw std::logic_error("SlotPool: release without acquire");
+  // Admit the next waiter round-robin across non-empty source queues so no
+  // application server can starve the others at the DB tier.
+  for (std::size_t probe = 0; probe < queues_.size(); ++probe) {
+    auto& q = queues_[(rr_next_ + probe) % queues_.size()];
+    if (!q.empty()) {
+      rr_next_ = (rr_next_ + probe + 1) % queues_.size();
+      Engine::Callback next = std::move(q.front());
+      q.pop_front();
+      next();  // slot ownership transfers to the admitted waiter
+      return;
+    }
+  }
+  --in_use_;
+}
+
+std::size_t SlotPool::waiting() const noexcept {
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+}  // namespace epp::sim

@@ -1,0 +1,213 @@
+#include "sim/trade/cluster.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/resources.hpp"
+
+namespace epp::sim::trade {
+namespace {
+
+constexpr double kMeanBuysPerSession = 10.0;
+
+struct DbCall {
+  double cpu_s;
+  double disk_s;
+};
+
+class ClusterSimulation {
+ public:
+  explicit ClusterSimulation(const ClusterConfig& config)
+      : config_(config),
+        db_cpu_(engine_, config.db_speed, "db.cpu"),
+        disk_(engine_, config.disk_speed, "db.disk"),
+        db_slots_(config.db_concurrency,
+                  config.servers.empty() ? 1 : config.servers.size()),
+        metrics_(config.warmup_s),
+        rng_(config.seed, 0xC1057E4) {
+    metrics_class_.set_warmup(config.warmup_s);
+    if (config.servers.empty())
+      throw std::invalid_argument("Cluster: no application servers");
+    if (config.classes.empty())
+      throw std::invalid_argument("Cluster: no service classes");
+    for (const ServerSpec& server : config.servers) {
+      app_cpus_.push_back(
+          std::make_unique<PsResource>(engine_, server.speed, server.name));
+      app_slots_.push_back(std::make_unique<SlotPool>(server.concurrency, 1));
+    }
+    std::uint64_t next_id = 0;
+    for (std::size_t ci = 0; ci < config.classes.size(); ++ci) {
+      const ClusterClassSpec& cls = config.classes[ci];
+      if (cls.clients_per_server.size() != config.servers.size())
+        throw std::invalid_argument(
+            "Cluster: allocation row for class '" + cls.name +
+            "' does not match the number of servers");
+      for (std::size_t si = 0; si < config.servers.size(); ++si) {
+        for (std::size_t i = 0; i < cls.clients_per_server[si]; ++i) {
+          clients_.push_back(std::make_unique<Client>());
+          Client& c = *clients_.back();
+          c.id = next_id++;
+          c.class_index = ci;
+          c.server_index = si;
+          c.rng = rng_.spawn();
+        }
+      }
+    }
+  }
+
+  ClusterRunResult run() {
+    for (auto& c : clients_) think_then_issue(*c);
+    const double end = config_.warmup_s + config_.measure_s;
+    engine_.run_until(end);
+    return collect(end);
+  }
+
+ private:
+  struct Client {
+    std::uint64_t id = 0;
+    std::size_t class_index = 0;
+    std::size_t server_index = 0;
+    util::Rng rng{0};
+    bool logged_in = false;
+    std::uint64_t remaining_buys = 0;
+    std::uint64_t portfolio = 0;
+  };
+
+  struct RequestContext {
+    Client* client = nullptr;
+    Operation op = Operation::kQuote;
+    double issue_time = 0.0;
+    double app_slice_s = 0.0;
+    std::vector<DbCall> calls;
+    std::size_t next_call = 0;
+  };
+  using Ctx = std::shared_ptr<RequestContext>;
+
+  const ClusterClassSpec& spec_of(const Client& c) const {
+    return config_.classes[c.class_index];
+  }
+  std::string bucket_of(const Client& c) const {
+    return spec_of(c).name + "@" + std::to_string(c.server_index);
+  }
+
+  void think_then_issue(Client& c) {
+    engine_.schedule_after(c.rng.exponential(spec_of(c).mean_think_time_s),
+                           [this, &c] { issue(c); });
+  }
+
+  Operation next_operation(Client& c) {
+    if (spec_of(c).type == UserType::kBrowse)
+      return sample_browse_operation(c.rng);
+    if (!c.logged_in) {
+      c.logged_in = true;
+      c.portfolio = 0;
+      c.remaining_buys = c.rng.geometric_trials(1.0 / kMeanBuysPerSession);
+      return Operation::kRegisterLogin;
+    }
+    if (c.remaining_buys > 0) {
+      --c.remaining_buys;
+      ++c.portfolio;
+      return Operation::kBuy;
+    }
+    c.logged_in = false;
+    return Operation::kLogoff;
+  }
+
+  void issue(Client& c) {
+    auto ctx = std::make_shared<RequestContext>();
+    ctx->client = &c;
+    ctx->op = next_operation(c);
+    ctx->issue_time = engine_.now();
+    app_slots_[c.server_index]->acquire(0, [this, ctx] { admitted(ctx); });
+  }
+
+  void admitted(const Ctx& ctx) {
+    const OperationProfile& prof = profile(ctx->op);
+    Client& c = *ctx->client;
+    const std::size_t op_calls = sample_db_calls(prof, c.rng);
+    for (std::size_t i = 0; i < op_calls; ++i)
+      ctx->calls.push_back(DbCall{prof.db_cpu_per_call, prof.disk_per_call});
+    ctx->app_slice_s =
+        prof.app_cpu_s / static_cast<double>(ctx->calls.size() + 1);
+    do_slice(ctx);
+  }
+
+  void do_slice(const Ctx& ctx) {
+    app_cpus_[ctx->client->server_index]->add_job(ctx->app_slice_s, [this, ctx] {
+      if (ctx->next_call < ctx->calls.size()) {
+        db_call(ctx);
+      } else {
+        finish(ctx);
+      }
+    });
+  }
+
+  void db_call(const Ctx& ctx) {
+    // The DB tier keeps one FIFO queue per application server.
+    db_slots_.acquire(ctx->client->server_index, [this, ctx] {
+      const DbCall call = ctx->calls[ctx->next_call];
+      db_cpu_.add_job(call.cpu_s, [this, ctx, disk_s = call.disk_s] {
+        disk_.add_job(disk_s, [this, ctx] {
+          db_slots_.release();
+          ++ctx->next_call;
+          do_slice(ctx);
+        });
+      });
+    });
+  }
+
+  void finish(const Ctx& ctx) {
+    Client& c = *ctx->client;
+    app_slots_[c.server_index]->release();
+    metrics_.record(bucket_of(c), ctx->issue_time, engine_.now());
+    metrics_class_.record(spec_of(c).name, ctx->issue_time, engine_.now());
+    think_then_issue(c);
+  }
+
+  ClusterRunResult collect(double end) const {
+    ClusterRunResult out;
+    out.total_throughput_rps = metrics_class_.throughput(end);
+    out.db_cpu_utilization = db_cpu_.utilization(end);
+    out.disk_utilization = disk_.utilization(end);
+    for (const auto& cpu : app_cpus_)
+      out.app_cpu_utilization.push_back(cpu->utilization(end));
+    for (const std::string& bucket : metrics_.service_classes()) {
+      ClusterClassResult r;
+      r.completions = metrics_.completions(bucket);
+      r.mean_rt_s = metrics_.mean_response_time(bucket);
+      r.p90_rt_s = metrics_.response_time_quantile(bucket, 0.90);
+      out.per_bucket[bucket] = r;
+    }
+    for (const std::string& name : metrics_class_.service_classes()) {
+      ClusterClassResult r;
+      r.completions = metrics_class_.completions(name);
+      r.mean_rt_s = metrics_class_.mean_response_time(name);
+      r.p90_rt_s = metrics_class_.response_time_quantile(name, 0.90);
+      out.per_class[name] = r;
+    }
+    return out;
+  }
+
+  ClusterConfig config_;
+  Engine engine_;
+  std::vector<std::unique_ptr<PsResource>> app_cpus_;
+  std::vector<std::unique_ptr<SlotPool>> app_slots_;
+  PsResource db_cpu_;
+  FifoResource disk_;
+  SlotPool db_slots_;
+  MetricsCollector metrics_;        // per (class, server) bucket
+  MetricsCollector metrics_class_;  // per class (warmup set in constructor)
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace
+
+ClusterRunResult run_cluster(const ClusterConfig& config) {
+  ClusterSimulation sim(config);
+  return sim.run();
+}
+
+}  // namespace epp::sim::trade

@@ -1,0 +1,46 @@
+#include "sim/trade/session_cache.hpp"
+
+namespace epp::sim::trade {
+
+bool SessionCache::access(std::uint64_t client_id, std::uint64_t bytes) {
+  if (!enabled()) return true;  // disabled cache never charges a fetch
+  const auto it = index_.find(client_id);
+  if (it != index_.end()) {
+    ++hits_;
+    auto node = it->second;
+    used_ += bytes - node->bytes;
+    node->bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, node);
+    evict_until_fits(0, /*keep_front=*/true);  // grown session may overflow
+    return true;
+  }
+  ++misses_;
+  evict_until_fits(bytes, /*keep_front=*/false);
+  lru_.push_front(Entry{client_id, bytes});
+  index_[client_id] = lru_.begin();
+  used_ += bytes;
+  return false;
+}
+
+void SessionCache::invalidate(std::uint64_t client_id) {
+  const auto it = index_.find(client_id);
+  if (it == index_.end()) return;
+  used_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void SessionCache::evict_until_fits(std::uint64_t bytes, bool keep_front) {
+  // When keeping the front, never evict the most-recently-used entry (the
+  // active client): a session larger than the whole cache still has to be
+  // resident while in use.
+  const std::size_t min_size = keep_front ? 1 : 0;
+  while (used_ + bytes > capacity_ && lru_.size() > min_size) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.bytes;
+    index_.erase(victim.client_id);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace epp::sim::trade

@@ -1,0 +1,62 @@
+// LRU session cache (paper section 7.2, "Modelling Caching").
+//
+// Models the "indirect" design in which per-client session data lives in
+// the application server's main memory and persists to the database
+// asynchronously. When a request arrives for a client whose session is not
+// resident, the app server performs an extra DB call to read the session
+// (a cache miss). Replacement is least-recently-used, exactly as the paper
+// describes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace epp::sim::trade {
+
+class SessionCache {
+ public:
+  /// capacity_bytes == 0 disables caching entirely (the Trade default where
+  /// data is stored directly in the database and no session fetch occurs).
+  explicit SessionCache(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  bool enabled() const noexcept { return capacity_ != 0; }
+  std::uint64_t capacity_bytes() const noexcept { return capacity_; }
+  std::uint64_t used_bytes() const noexcept { return used_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  double miss_ratio() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+  }
+
+  /// Touch client's session of `bytes` size. Returns true on a hit. On a
+  /// miss the session is inserted (evicting LRU entries as needed) and the
+  /// caller must charge the extra DB fetch. A resident session whose size
+  /// changed (e.g. growing portfolio) is resized in place.
+  bool access(std::uint64_t client_id, std::uint64_t bytes);
+
+  /// Drop a client's session (logoff).
+  void invalidate(std::uint64_t client_id);
+
+ private:
+  /// Evict LRU entries until `bytes` more fit. When keep_front is set the
+  /// most-recently-used entry (the session being actively used) survives
+  /// even if capacity is still exceeded.
+  void evict_until_fits(std::uint64_t bytes, bool keep_front);
+
+  struct Entry {
+    std::uint64_t client_id;
+    std::uint64_t bytes;
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace epp::sim::trade

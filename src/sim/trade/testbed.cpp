@@ -1,0 +1,301 @@
+#include "sim/trade/testbed.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace epp::sim::trade {
+
+ServerSpec app_serv_s() { return {"AppServS", 86.0 / 186.0, 50, false}; }
+ServerSpec app_serv_f() { return {"AppServF", 1.0, 50, true}; }
+ServerSpec app_serv_vf() { return {"AppServVF", 320.0 / 186.0, 50, true}; }
+
+namespace {
+
+/// Mean buy requests per buy-user session before logoff.
+constexpr double kMeanBuysPerSession = 10.0;
+
+struct DbCall {
+  double cpu_s;
+  double disk_s;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(const TestbedConfig& config)
+      : config_(config),
+        app_cpu_(engine_, config.server.speed, config.server.name + ".cpu"),
+        db_cpu_(engine_, config.db_speed, "db.cpu"),
+        disk_(engine_, config.disk_speed, "db.disk"),
+        app_slots_(config.server.concurrency, 1),
+        db_slots_(config.db_concurrency, 1),
+        cache_(config.cache ? config.cache->capacity_bytes : 0),
+        metrics_(config.warmup_s),
+        rng_(config.seed, 0x7E57BED) {
+    if (config.classes.empty())
+      throw std::invalid_argument("Testbed: no service classes");
+    std::uint64_t next_id = 0;
+    for (std::size_t ci = 0; ci < config.classes.size(); ++ci) {
+      const auto& spec = config_.classes[ci];
+      if (spec.open_arrival_rps > 0.0) {
+        // Open stream: one generator "client" supplies rng and operation
+        // state; fresh virtual clients are minted per arrival for the
+        // session-cache key space.
+        open_generators_.push_back(std::make_unique<Client>());
+        Client& c = *open_generators_.back();
+        c.id = next_id++;
+        c.class_index = ci;
+        c.rng = rng_.spawn();
+        continue;
+      }
+      for (std::size_t i = 0; i < spec.clients; ++i) {
+        clients_.push_back(std::make_unique<Client>());
+        Client& c = *clients_.back();
+        c.id = next_id++;
+        c.class_index = ci;
+        c.rng = rng_.spawn();
+      }
+    }
+  }
+
+  RunResult run(bool keep_samples) {
+    for (auto& c : clients_) think_then_issue(*c);
+    for (auto& g : open_generators_) schedule_open_arrival(*g);
+    const double end = config_.warmup_s + config_.measure_s;
+    engine_.run_until(end);
+    return collect(end, keep_samples);
+  }
+
+ private:
+  struct Client {
+    std::uint64_t id = 0;
+    std::size_t class_index = 0;
+    util::Rng rng{0};
+    // Buy-user session state.
+    bool logged_in = false;
+    std::uint64_t remaining_buys = 0;
+    std::uint64_t portfolio = 0;
+  };
+
+  struct RequestContext {
+    Client* client = nullptr;
+    Operation op = Operation::kQuote;
+    double issue_time = 0.0;
+    double app_slice_s = 0.0;
+    std::vector<DbCall> calls;
+    std::size_t next_call = 0;
+    bool open_request = false;  // from a Poisson stream, no think cycle
+  };
+  using Ctx = std::shared_ptr<RequestContext>;
+
+  const ServiceClassSpec& spec_of(const Client& c) const {
+    return config_.classes[c.class_index];
+  }
+
+  void think_then_issue(Client& c) {
+    const double think = c.rng.exponential(spec_of(c).mean_think_time_s);
+    engine_.schedule_after(think, [this, &c] { issue(c); });
+  }
+
+  Operation next_operation(Client& c) {
+    if (spec_of(c).type == UserType::kBrowse)
+      return sample_browse_operation(c.rng);
+    if (!c.logged_in) {
+      c.logged_in = true;
+      c.portfolio = 0;
+      c.remaining_buys = c.rng.geometric_trials(1.0 / kMeanBuysPerSession);
+      return Operation::kRegisterLogin;
+    }
+    if (c.remaining_buys > 0) {
+      --c.remaining_buys;
+      ++c.portfolio;
+      return Operation::kBuy;
+    }
+    c.logged_in = false;
+    return Operation::kLogoff;
+  }
+
+  std::uint64_t session_bytes(const Client& c) const {
+    const CacheConfig& cc = *config_.cache;
+    if (spec_of(c).type == UserType::kBrowse) return cc.browse_session_bytes;
+    return cc.buy_session_base_bytes + cc.per_holding_bytes * c.portfolio;
+  }
+
+  void issue(Client& c) {
+    auto ctx = std::make_shared<RequestContext>();
+    ctx->client = &c;
+    ctx->op = next_operation(c);
+    ctx->issue_time = engine_.now();
+    app_slots_.acquire(0, [this, ctx] { admitted(ctx); });
+  }
+
+  void schedule_open_arrival(Client& generator) {
+    const double rate = spec_of(generator).open_arrival_rps;
+    engine_.schedule_after(generator.rng.exponential(1.0 / rate),
+                           [this, &generator] {
+                             auto ctx = std::make_shared<RequestContext>();
+                             ctx->client = &generator;
+                             ctx->op = next_operation(generator);
+                             ctx->issue_time = engine_.now();
+                             ctx->open_request = true;
+                             app_slots_.acquire(0, [this, ctx] { admitted(ctx); });
+                             schedule_open_arrival(generator);
+                           });
+  }
+
+  void admitted(const Ctx& ctx) {
+    const OperationProfile& prof = profile(ctx->op);
+    Client& c = *ctx->client;
+    // Session-cache lookup happens when processing starts; a miss costs an
+    // extra DB call to read the session before the operation's own calls.
+    if (config_.cache && cache_.enabled()) {
+      if (ctx->op == Operation::kLogoff) {
+        cache_.invalidate(c.id);
+      } else if (!cache_.access(c.id, session_bytes(c))) {
+        ctx->calls.push_back(DbCall{config_.cache->session_fetch_db_cpu_s,
+                                    config_.cache->session_fetch_disk_s});
+      }
+    }
+    const std::size_t op_calls = sample_db_calls(prof, c.rng);
+    for (std::size_t i = 0; i < op_calls; ++i)
+      ctx->calls.push_back(DbCall{prof.db_cpu_per_call, prof.disk_per_call});
+    ctx->app_slice_s =
+        prof.app_cpu_s / static_cast<double>(ctx->calls.size() + 1);
+    do_slice(ctx);
+  }
+
+  void do_slice(const Ctx& ctx) {
+    app_cpu_.add_job(ctx->app_slice_s, [this, ctx] {
+      if (ctx->next_call < ctx->calls.size()) {
+        db_call(ctx);
+      } else {
+        finish(ctx);
+      }
+    });
+  }
+
+  void db_call(const Ctx& ctx) {
+    if (ctx->issue_time >= config_.warmup_s) ++measured_db_calls_;
+    db_slots_.acquire(0, [this, ctx] {
+      const DbCall call = ctx->calls[ctx->next_call];
+      db_cpu_.add_job(call.cpu_s, [this, ctx, disk_s = call.disk_s] {
+        disk_.add_job(disk_s, [this, ctx] {
+          db_slots_.release();
+          ++ctx->next_call;
+          do_slice(ctx);
+        });
+      });
+    });
+  }
+
+  void finish(const Ctx& ctx) {
+    app_slots_.release();
+    Client& c = *ctx->client;
+    metrics_.record(spec_of(c).name, ctx->issue_time, engine_.now());
+    if (ctx->issue_time >= config_.warmup_s) {
+      ++measured_requests_;
+      if (ctx->op == Operation::kBuy) ++measured_buy_requests_;
+    }
+    if (!ctx->open_request) think_then_issue(c);
+  }
+
+  RunResult collect(double end, bool keep_samples) const {
+    RunResult out;
+    out.mean_rt_s = metrics_.mean_response_time();
+    out.p90_rt_s = metrics_.response_time_quantile(0.90);
+    out.throughput_rps = metrics_.throughput(end);
+    out.app_cpu_utilization = app_cpu_.utilization(end);
+    out.db_cpu_utilization = db_cpu_.utilization(end);
+    out.disk_utilization = disk_.utilization(end);
+    out.cache_miss_ratio = cache_.miss_ratio();
+    out.buy_request_fraction =
+        measured_requests_ == 0
+            ? 0.0
+            : static_cast<double>(measured_buy_requests_) /
+                  static_cast<double>(measured_requests_);
+    out.db_calls_per_request =
+        measured_requests_ == 0
+            ? 0.0
+            : static_cast<double>(measured_db_calls_) /
+                  static_cast<double>(measured_requests_);
+    for (const auto& spec : config_.classes) {
+      ClassResult cr;
+      cr.completions = metrics_.completions(spec.name);
+      cr.mean_rt_s = metrics_.mean_response_time(spec.name);
+      cr.p90_rt_s = metrics_.response_time_quantile(spec.name, 0.90);
+      cr.throughput_rps = metrics_.throughput(spec.name, end);
+      out.per_class[spec.name] = cr;
+    }
+    if (keep_samples) {
+      out.rt_samples_s.reserve(metrics_.total_completions());
+      for (const auto& name : metrics_.service_classes())
+        for (double s : metrics_.samples(name).samples())
+          out.rt_samples_s.push_back(s);
+    }
+    return out;
+  }
+
+  TestbedConfig config_;
+  Engine engine_;
+  PsResource app_cpu_;
+  PsResource db_cpu_;
+  FifoResource disk_;
+  SlotPool app_slots_;
+  SlotPool db_slots_;
+  SessionCache cache_;
+  MetricsCollector metrics_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<Client>> open_generators_;
+  std::uint64_t measured_requests_ = 0;
+  std::uint64_t measured_buy_requests_ = 0;
+  std::uint64_t measured_db_calls_ = 0;
+};
+
+}  // namespace
+
+RunResult run_testbed(const TestbedConfig& config, bool keep_samples) {
+  Simulation sim(config);
+  return sim.run(keep_samples);
+}
+
+TestbedConfig typical_workload(const ServerSpec& server, std::size_t clients,
+                               std::uint64_t seed) {
+  TestbedConfig config;
+  config.server = server;
+  config.classes.push_back({"browse", UserType::kBrowse, clients, 7.0});
+  config.seed = seed;
+  return config;
+}
+
+TestbedConfig mixed_workload(const ServerSpec& server, std::size_t clients,
+                             double buy_client_fraction, std::uint64_t seed) {
+  if (buy_client_fraction < 0.0 || buy_client_fraction > 1.0)
+    throw std::invalid_argument("mixed_workload: fraction outside [0,1]");
+  TestbedConfig config;
+  config.server = server;
+  const auto buyers =
+      static_cast<std::size_t>(std::llround(buy_client_fraction * static_cast<double>(clients)));
+  const std::size_t browsers = clients - buyers;
+  if (browsers > 0)
+    config.classes.push_back({"browse", UserType::kBrowse, browsers, 7.0});
+  if (buyers > 0)
+    config.classes.push_back({"buy", UserType::kBuy, buyers, 7.0});
+  config.seed = seed;
+  return config;
+}
+
+double measure_max_throughput(const ServerSpec& server,
+                              double buy_client_fraction, std::uint64_t seed) {
+  // Drive the server well past saturation: throughput then plateaus at its
+  // max (the paper's "after max throughput ... roughly constant").
+  const double est_max_rps =
+      186.0 * server.speed / (1.0 + 0.9 * buy_client_fraction);
+  const auto clients = static_cast<std::size_t>(std::ceil(est_max_rps * 7.0 * 1.8));
+  TestbedConfig config = mixed_workload(server, clients, buy_client_fraction, seed);
+  config.warmup_s = 40.0;
+  config.measure_s = 120.0;
+  return run_testbed(config).throughput_rps;
+}
+
+}  // namespace epp::sim::trade

@@ -1,0 +1,98 @@
+#include "util/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epp::util {
+namespace {
+
+struct OlsResult {
+  double slope, intercept, r_squared;
+};
+
+OlsResult ols(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("fit: x/y size mismatch");
+  const std::size_t n = x.size();
+  if (n < 2) throw std::invalid_argument("fit: need at least two points");
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw std::invalid_argument("fit: x values are constant");
+  const double slope = sxy / sxx;
+  const double intercept = my - slope * mx;
+  double r2 = 1.0;
+  if (syy > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double resid = y[i] - (slope * x[i] + intercept);
+      ss_res += resid * resid;
+    }
+    r2 = 1.0 - ss_res / syy;
+  }
+  return {slope, intercept, r2};
+}
+
+}  // namespace
+
+double LinearFit::solve_for_x(double y) const {
+  if (slope == 0.0) throw std::domain_error("LinearFit: zero slope");
+  return (y - intercept) / slope;
+}
+
+double ExponentialFit::operator()(double x) const noexcept {
+  return coeff * std::exp(rate * x);
+}
+
+double ExponentialFit::solve_for_x(double y) const {
+  if (coeff <= 0.0 || rate == 0.0 || y <= 0.0)
+    throw std::domain_error("ExponentialFit: not invertible here");
+  return std::log(y / coeff) / rate;
+}
+
+double PowerFit::operator()(double x) const noexcept {
+  return coeff * std::pow(x, exponent);
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  const OlsResult r = ols(x, y);
+  return {r.slope, r.intercept, r.r_squared};
+}
+
+ExponentialFit fit_exponential(std::span<const double> x,
+                               std::span<const double> y) {
+  std::vector<double> logy(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] <= 0.0)
+      throw std::invalid_argument("fit_exponential: y must be positive");
+    logy[i] = std::log(y[i]);
+  }
+  const OlsResult r = ols(x, logy);
+  return {std::exp(r.intercept), r.slope, r.r_squared};
+}
+
+PowerFit fit_power(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> logx(x.size()), logy(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0)
+      throw std::invalid_argument("fit_power: x and y must be positive");
+    logx[i] = std::log(x[i]);
+    logy[i] = std::log(y[i]);
+  }
+  const OlsResult r = ols(logx, logy);
+  return {std::exp(r.intercept), r.slope, r.r_squared};
+}
+
+}  // namespace epp::util

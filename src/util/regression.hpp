@@ -1,0 +1,57 @@
+// Least-squares trend fitting.
+//
+// The HYDRA historical method (src/hydra) reduces performance modelling to
+// fitting a small number of trend lines to historical data points; these
+// are the fitting primitives it uses: straight lines, exponentials
+// (y = c * exp(l*x), fitted log-linearly) and power laws
+// (y = c * x^l, fitted log-log).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace epp::util {
+
+/// y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  double operator()(double x) const noexcept { return slope * x + intercept; }
+  /// Inverse: the x that yields y. Requires a non-zero slope.
+  double solve_for_x(double y) const;
+};
+
+/// y = coeff * exp(rate * x).
+struct ExponentialFit {
+  double coeff = 0.0;
+  double rate = 0.0;
+  double r_squared = 0.0;
+
+  double operator()(double x) const noexcept;
+  /// Inverse: the x that yields y (> 0). Requires non-zero rate and coeff.
+  double solve_for_x(double y) const;
+};
+
+/// y = coeff * x^exponent (x > 0).
+struct PowerFit {
+  double coeff = 0.0;
+  double exponent = 0.0;
+  double r_squared = 0.0;
+
+  double operator()(double x) const noexcept;
+};
+
+/// Ordinary least squares on (x, y) pairs. Throws std::invalid_argument on
+/// fewer than two points or zero x-variance.
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Log-linear least squares; every y must be > 0.
+ExponentialFit fit_exponential(std::span<const double> x,
+                               std::span<const double> y);
+
+/// Log-log least squares; every x and y must be > 0.
+PowerFit fit_power(std::span<const double> x, std::span<const double> y);
+
+}  // namespace epp::util

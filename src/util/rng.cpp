@@ -1,0 +1,82 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace epp::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Mix seed and stream into one key, then expand to 256 bits of state.
+  std::uint64_t key = seed;
+  (void)splitmix64(key);
+  key ^= 0xA24BAED4963EE407ULL * (stream + 1);
+  for (auto& word : s_) word = splitmix64(key);
+  // xoshiro state must not be all zero; splitmix64 output makes that
+  // astronomically unlikely, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x1ULL;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) noexcept {
+  if (mean <= 0.0) return 0.0;
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::uint64_t Rng::geometric_trials(double p) noexcept {
+  if (p >= 1.0) return 1;
+  if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  const double u = 1.0 - uniform();
+  const double trials = std::ceil(std::log(u) / std::log1p(-p));
+  return trials < 1.0 ? 1 : static_cast<std::uint64_t>(trials);
+}
+
+Rng Rng::spawn() noexcept {
+  return Rng((*this)(), (*this)());
+}
+
+}  // namespace epp::util

@@ -1,0 +1,58 @@
+// Fixed-size worker pool used to parallelise embarrassingly parallel work:
+// independent simulation replications, per-server calibration runs and the
+// load sweeps behind figures 2-8. Tasks must not submit nested blocking
+// work into the same pool (no work stealing; that would deadlock).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace epp::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future reports its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Exceptions from any task are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace epp::util

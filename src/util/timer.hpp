@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used to report calibration overheads and
+// prediction-evaluation delays (paper sections 8.4 and 8.5).
+#pragma once
+
+#include <chrono>
+
+namespace epp::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace epp::util

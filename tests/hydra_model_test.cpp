@@ -1,0 +1,129 @@
+#include "hydra/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epp::hydra {
+namespace {
+
+struct Synthetic {
+  double max_tput;
+  double think = 7.0;
+  double base_rt = 0.05;
+  double gradient() const { return 1.0 / (think + base_rt); }
+  double n_star() const { return max_tput / gradient(); }
+  double rt(double n) const {
+    return std::max(base_rt * std::exp(std::log(2.0) * n / n_star()),
+                    n / max_tput - think);
+  }
+  std::vector<DataPoint> lower_points() const {
+    return {{0.2 * n_star(), rt(0.2 * n_star()), 50},
+            {0.6 * n_star(), rt(0.6 * n_star()), 50}};
+  }
+  std::vector<DataPoint> upper_points() const {
+    return {{1.2 * n_star(), rt(1.2 * n_star()), 50},
+            {1.8 * n_star(), rt(1.8 * n_star()), 50}};
+  }
+};
+
+HistoricalModel calibrated_model() {
+  const Synthetic f{186.0}, vf{320.0};
+  HistoricalModel model(f.gradient());
+  model.add_established("AppServF", f.lower_points(), f.upper_points(), 186.0);
+  model.add_established("AppServVF", vf.lower_points(), vf.upper_points(), 320.0);
+  return model;
+}
+
+TEST(HistoricalModel, EstablishedServerPredicts) {
+  const HistoricalModel model = calibrated_model();
+  const Synthetic f{186.0};
+  EXPECT_TRUE(model.has_server("AppServF"));
+  const double n = 0.4 * f.n_star();
+  EXPECT_NEAR(model.predict_metric("AppServF", n), f.rt(n), 0.1 * f.rt(n));
+  EXPECT_NEAR(model.predict_throughput("AppServF", 100.0),
+              100.0 * f.gradient(), 1e-9);
+}
+
+TEST(HistoricalModel, NewServerViaRelationship2) {
+  HistoricalModel model = calibrated_model();
+  model.add_new_server("AppServS", 86.0);
+  const Synthetic s{86.0};
+  EXPECT_TRUE(model.has_server("AppServS"));
+  const double n = 2.0 * s.n_star();  // deep saturation: upper equation
+  EXPECT_NEAR(model.predict_metric("AppServS", n), s.rt(n), 0.08 * s.rt(n));
+}
+
+TEST(HistoricalModel, NewServerNeedsTwoEstablished) {
+  const Synthetic f{186.0};
+  HistoricalModel model(f.gradient());
+  model.add_established("F", f.lower_points(), f.upper_points(), 186.0);
+  EXPECT_THROW(model.add_new_server("S", 86.0), std::invalid_argument);
+}
+
+TEST(HistoricalModel, SlaCapacitySearch) {
+  const HistoricalModel model = calibrated_model();
+  const double goal = 0.6;  // 600 ms, the paper's low-priority browse goal
+  const double capacity = model.max_clients_for_metric("AppServF", goal);
+  EXPECT_GT(capacity, 0.0);
+  EXPECT_LE(model.predict_metric("AppServF", capacity), goal * 1.01);
+  EXPECT_GE(model.predict_metric("AppServF", capacity * 1.05), goal * 0.99);
+}
+
+TEST(HistoricalModel, MixCalibrationScalesMaxThroughput) {
+  HistoricalModel model = calibrated_model();
+  model.add_new_server("AppServS", 86.0);
+  EXPECT_FALSE(model.has_mix_calibration());
+  model.calibrate_mix({0.0, 25.0}, {189.0, 158.0});
+  ASSERT_TRUE(model.has_mix_calibration());
+  EXPECT_NEAR(model.predict_max_throughput("AppServS", 25.0),
+              158.0 * 86.0 / 189.0, 1e-9);
+}
+
+TEST(HistoricalModel, MixWithoutCalibrationThrows) {
+  const HistoricalModel model = calibrated_model();
+  EXPECT_THROW(model.predict_max_throughput("AppServF", 10.0),
+               std::logic_error);
+}
+
+TEST(HistoricalModel, UnknownServerThrows) {
+  const HistoricalModel model = calibrated_model();
+  EXPECT_THROW(model.predict_metric("nope", 100.0), std::out_of_range);
+}
+
+TEST(HistoricalModel, AddCalibratedDirectRegistration) {
+  HistoricalModel model = calibrated_model();
+  Relationship1 rel = model.server("AppServF");
+  rel.max_throughput_rps = 150.0;
+  model.add_calibrated("custom", rel);
+  EXPECT_TRUE(model.has_server("custom"));
+  EXPECT_DOUBLE_EQ(model.server("custom").max_throughput_rps, 150.0);
+}
+
+TEST(HistoricalModel, ServersEnumerated) {
+  HistoricalModel model = calibrated_model();
+  model.add_new_server("AppServS", 86.0);
+  EXPECT_EQ(model.servers().size(), 3u);
+}
+
+TEST(HistoricalModel, RejectsNonPositiveGradient) {
+  EXPECT_THROW(HistoricalModel(0.0), std::invalid_argument);
+}
+
+TEST(HistoricalModel, Relationship2RefitsAfterNewEstablishedServer) {
+  // Adding a third established server must invalidate the cached fit.
+  HistoricalModel model = calibrated_model();
+  const Relationship2& before = model.cross_server_fit();
+  const double c_before = before.c_upper_mean;
+  const Synthetic mid{250.0};
+  model.add_established("Mid", mid.lower_points(), mid.upper_points(), 250.0);
+  const double c_after = model.cross_server_fit().c_upper_mean;
+  // cU is ~-7 for every synthetic server so means stay close, but the fit
+  // must have been recomputed over three servers (slope of cL changes).
+  EXPECT_NEAR(c_after, c_before, 0.5);
+  EXPECT_EQ(model.servers().size(), 3u);
+}
+
+}  // namespace
+}  // namespace epp::hydra

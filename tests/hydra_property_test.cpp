@@ -1,0 +1,168 @@
+// Parameterized property sweeps over the historical method's
+// relationships: monotonicity, inverse consistency and cross-server
+// extrapolation across a grid of synthetic server families.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hydra/model.hpp"
+#include "hydra/relationships.hpp"
+
+namespace epp::hydra {
+namespace {
+
+struct Family {
+  double max_tput;
+  double base_rt;
+  double think;
+};
+
+class Rel1Properties : public ::testing::TestWithParam<Family> {
+ protected:
+  double gradient() const { return 1.0 / (GetParam().think + GetParam().base_rt); }
+  double n_star() const { return GetParam().max_tput / gradient(); }
+  double truth(double n) const {
+    const Family f = GetParam();
+    return std::max(f.base_rt * std::exp(std::log(2.0) * n / n_star()),
+                    n / f.max_tput - f.think);
+  }
+  Relationship1 fit() const {
+    const std::vector<DataPoint> lower{{0.2 * n_star(), truth(0.2 * n_star()), 50},
+                                       {0.6 * n_star(), truth(0.6 * n_star()), 50}};
+    const std::vector<DataPoint> upper{{1.2 * n_star(), truth(1.2 * n_star()), 50},
+                                       {1.8 * n_star(), truth(1.8 * n_star()), 50}};
+    return fit_relationship1(lower, upper, GetParam().max_tput, gradient());
+  }
+};
+
+TEST_P(Rel1Properties, PredictionMonotoneOverFullRange) {
+  const Relationship1 rel = fit();
+  double prev = 0.0;
+  for (double n = 0.0; n <= 3.0 * n_star(); n += n_star() / 40.0) {
+    const double rt = rel.predict_metric(n);
+    EXPECT_GE(rt, prev - 1e-12) << n;
+    prev = rt;
+  }
+}
+
+TEST_P(Rel1Properties, InverseRoundTripsAcrossRange) {
+  const Relationship1 rel = fit();
+  for (double fraction : {0.2, 0.5, 0.9, 1.3, 2.0, 2.8}) {
+    const double n = fraction * n_star();
+    const double goal = rel.predict_metric(n);
+    if (goal <= rel.predict_metric(0.0)) continue;  // flat region
+    EXPECT_NEAR(rel.clients_for_metric(goal), n, 0.02 * n + 1.0) << fraction;
+  }
+}
+
+TEST_P(Rel1Properties, ThroughputCapsAtMax) {
+  const Relationship1 rel = fit();
+  EXPECT_NEAR(rel.predict_throughput(0.5 * n_star()),
+              0.5 * GetParam().max_tput, 1e-6 * GetParam().max_tput);
+  EXPECT_DOUBLE_EQ(rel.predict_throughput(5.0 * n_star()),
+                   GetParam().max_tput);
+}
+
+TEST_P(Rel1Properties, UpperEquationAccurateDeepInSaturation) {
+  const Relationship1 rel = fit();
+  const double n = 2.5 * n_star();
+  EXPECT_NEAR(rel.predict_metric(n), truth(n), 0.02 * truth(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, Rel1Properties,
+    ::testing::Values(Family{40.0, 0.12, 7.0}, Family{86.0, 0.05, 7.0},
+                      Family{186.0, 0.05, 7.0}, Family{320.0, 0.02, 7.0},
+                      Family{500.0, 0.01, 4.0}, Family{1500.0, 0.004, 10.0}));
+
+class Rel2Extrapolation : public ::testing::TestWithParam<double> {};
+
+TEST_P(Rel2Extrapolation, PredictsUnseenServerWithinTolerance) {
+  // Calibrate relationship 2 on three synthetic servers, predict a fourth
+  // whose max throughput is the parameter.
+  const double think = 7.0;
+  auto family = [&](double max_tput) {
+    const double base = 10.0 / max_tput;  // base RT shrinking with speed
+    const double gradient = 1.0 / (think + base);
+    const double knee = max_tput / gradient;
+    auto truth = [=](double n) {
+      return std::max(base * std::exp(std::log(2.0) * n / knee),
+                      n / max_tput - think);
+    };
+    const std::vector<DataPoint> lower{{0.2 * knee, truth(0.2 * knee), 50},
+                                       {0.6 * knee, truth(0.6 * knee), 50}};
+    const std::vector<DataPoint> upper{{1.2 * knee, truth(1.2 * knee), 50},
+                                       {1.8 * knee, truth(1.8 * knee), 50}};
+    return fit_relationship1(lower, upper, max_tput, gradient);
+  };
+  const Relationship2 rel2 =
+      fit_relationship2({family(120.0), family(200.0), family(340.0)});
+  const double target = GetParam();
+  const double base = 10.0 / target;
+  const double gradient = 1.0 / (think + base);
+  const Relationship1 derived = rel2.predict_for(target, gradient);
+  const double knee = target / gradient;
+  auto truth = [=](double n) {
+    return std::max(base * std::exp(std::log(2.0) * n / knee),
+                    n / target - think);
+  };
+  // Deep saturation must extrapolate well even outside the fitted range.
+  const double n_hi = 2.2 * knee;
+  EXPECT_NEAR(derived.predict_metric(n_hi), truth(n_hi), 0.06 * truth(n_hi));
+  // Light load within a factor ~2 (cL/lambdaL power-law extrapolation).
+  const double n_lo = 0.4 * knee;
+  EXPECT_NEAR(derived.predict_metric(n_lo), truth(n_lo), truth(n_lo));
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, Rel2Extrapolation,
+                         ::testing::Values(90.0, 150.0, 260.0, 420.0));
+
+class MixScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(MixScaling, Relationship3LinearInBuyPercent) {
+  const Relationship3 rel = fit_relationship3({0.0, 25.0}, {186.0, 155.0});
+  const double b = GetParam();
+  const double expected = 186.0 - (31.0 / 25.0) * b;
+  EXPECT_NEAR(rel.established(b), expected, 1e-9);
+  // Scaling to a server with half the typical max throughput halves it.
+  EXPECT_NEAR(rel.predict(b, 93.0), expected * 0.5, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(BuyPercents, MixScaling,
+                         ::testing::Values(0.0, 5.0, 12.5, 25.0, 40.0));
+
+TEST(HistoricalModelProperty, DerivedServersConsistentWithEstablishedOnes) {
+  // Registering an established server's own max throughput as a "new"
+  // server must give predictions close to its established fit.
+  const double think = 7.0;
+  HistoricalModel model(1.0 / (think + 0.05));
+  auto add = [&](const char* name, double max_tput) {
+    const double gradient = model.gradient_m();
+    const double knee = max_tput / gradient;
+    auto truth = [=](double n) {
+      return std::max(0.05 * std::exp(std::log(2.0) * n / knee),
+                      n / max_tput - think);
+    };
+    model.add_established(name,
+                          {{0.2 * knee, truth(0.2 * knee), 50},
+                           {0.6 * knee, truth(0.6 * knee), 50}},
+                          {{1.2 * knee, truth(1.2 * knee), 50},
+                           {1.8 * knee, truth(1.8 * knee), 50}},
+                          max_tput);
+  };
+  add("A", 150.0);
+  add("B", 250.0);
+  add("C", 350.0);
+  model.add_new_server("A_clone", 150.0);
+  const double knee = 150.0 / model.gradient_m();
+  for (double fraction : {0.4, 1.5, 2.2}) {
+    const double n = fraction * knee;
+    EXPECT_NEAR(model.predict_metric("A_clone", n),
+                model.predict_metric("A", n),
+                0.25 * model.predict_metric("A", n) + 0.01)
+        << fraction;
+  }
+}
+
+}  // namespace
+}  // namespace epp::hydra

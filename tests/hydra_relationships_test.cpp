@@ -1,0 +1,165 @@
+#include "hydra/relationships.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epp::hydra {
+namespace {
+
+/// A synthetic server whose behaviour follows the paper's equations
+/// exactly: closed-system physics with max throughput X*, think Z.
+struct SyntheticServer {
+  double max_tput;          // requests/second
+  double think = 7.0;       // seconds
+  double base_rt = 0.05;    // light-load response time (seconds)
+
+  double gradient() const { return 1.0 / (think + base_rt); }
+  double n_star() const { return max_tput / gradient(); }
+  /// Ground truth: exponential rise to the knee, then N/X - Z.
+  double rt(double n) const {
+    const double upper = n / max_tput - think;
+    const double lower =
+        base_rt * std::exp(std::log(2.0) * n / n_star());  // doubles by knee
+    return std::max(lower, upper);
+  }
+  DataPoint at(double n) const { return {n, rt(n), 50}; }
+};
+
+Relationship1 fit_synthetic(const SyntheticServer& s) {
+  // The paper's minimal calibration: two lower + two upper points.
+  const std::vector<DataPoint> lower{s.at(0.2 * s.n_star()),
+                                     s.at(0.6 * s.n_star())};
+  const std::vector<DataPoint> upper{s.at(1.2 * s.n_star()),
+                                     s.at(1.8 * s.n_star())};
+  return fit_relationship1(lower, upper, s.max_tput, s.gradient());
+}
+
+TEST(Relationship1, RecoversLowerEquationThroughPoints) {
+  const SyntheticServer s{186.0};
+  const Relationship1 rel = fit_synthetic(s);
+  // Two-point exponential fit passes through both calibration points.
+  EXPECT_NEAR(rel.predict_metric(0.2 * s.n_star()), s.rt(0.2 * s.n_star()),
+              1e-9);
+  EXPECT_NEAR(rel.predict_metric(0.6 * s.n_star()), s.rt(0.6 * s.n_star()),
+              1e-9);
+}
+
+TEST(Relationship1, RecoversUpperEquation) {
+  const SyntheticServer s{186.0};
+  const Relationship1 rel = fit_synthetic(s);
+  EXPECT_NEAR(rel.lambda_upper, 1.0 / s.max_tput, 1e-9);
+  EXPECT_NEAR(rel.c_upper, -s.think, 1e-6);
+  EXPECT_NEAR(rel.predict_metric(2.5 * s.n_star()), s.rt(2.5 * s.n_star()),
+              1e-6);
+}
+
+TEST(Relationship1, ThroughputLinearThenFlat) {
+  const SyntheticServer s{186.0};
+  const Relationship1 rel = fit_synthetic(s);
+  EXPECT_NEAR(rel.predict_throughput(100.0), 100.0 * s.gradient(), 1e-9);
+  EXPECT_NEAR(rel.predict_throughput(10.0 * s.n_star()), s.max_tput, 1e-9);
+}
+
+TEST(Relationship1, TransitionIsContinuousAndMonotone) {
+  const SyntheticServer s{186.0};
+  const Relationship1 rel = fit_synthetic(s);
+  const double n1 = rel.transition_lo * rel.clients_at_max_throughput();
+  const double n2 = rel.transition_hi * rel.clients_at_max_throughput();
+  // Continuity at the band edges.
+  EXPECT_NEAR(rel.predict_metric(n1 - 1e-6), rel.predict_metric(n1 + 1e-6),
+              1e-4);
+  EXPECT_NEAR(rel.predict_metric(n2 - 1e-6), rel.predict_metric(n2 + 1e-6),
+              1e-4);
+  // Monotonicity through the band.
+  double prev = 0.0;
+  for (double n = 0.0; n <= 2.0 * n2; n += n2 / 50.0) {
+    const double rt = rel.predict_metric(n);
+    EXPECT_GE(rt, prev - 1e-12) << n;
+    prev = rt;
+  }
+}
+
+TEST(Relationship1, InverseRoundTrips) {
+  const SyntheticServer s{186.0};
+  const Relationship1 rel = fit_synthetic(s);
+  for (double n : {200.0, 800.0, 1400.0, 2500.0}) {
+    const double goal = rel.predict_metric(n);
+    EXPECT_NEAR(rel.clients_for_metric(goal), n, 0.01 * n) << n;
+  }
+}
+
+TEST(Relationship1, InverseEdgeCases) {
+  const SyntheticServer s{186.0};
+  const Relationship1 rel = fit_synthetic(s);
+  EXPECT_DOUBLE_EQ(rel.clients_for_metric(1e-9), 0.0);  // goal below base RT
+  EXPECT_THROW(rel.clients_for_metric(0.0), std::invalid_argument);
+  EXPECT_THROW(rel.predict_metric(-1.0), std::invalid_argument);
+}
+
+TEST(Relationship1, FitRejectsTooFewPoints) {
+  const SyntheticServer s{186.0};
+  const std::vector<DataPoint> one{s.at(100.0)};
+  const std::vector<DataPoint> two{s.at(1500.0), s.at(2000.0)};
+  EXPECT_THROW(fit_relationship1(one, two, s.max_tput, s.gradient()),
+               std::invalid_argument);
+  EXPECT_THROW(fit_relationship1(two, one, s.max_tput, s.gradient()),
+               std::invalid_argument);
+  EXPECT_THROW(fit_relationship1(two, two, 0.0, s.gradient()),
+               std::invalid_argument);
+}
+
+TEST(FitGradient, ThroughOriginLeastSquares) {
+  const std::vector<double> n{100.0, 200.0, 400.0};
+  const std::vector<double> x{14.0, 28.0, 56.0};
+  EXPECT_NEAR(fit_gradient(n, x), 0.14, 1e-12);
+}
+
+TEST(FitGradient, RejectsBadInput) {
+  EXPECT_THROW(fit_gradient({}, {}), std::invalid_argument);
+  EXPECT_THROW(fit_gradient({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_gradient({0.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Relationship2, PredictsNewServerFromMaxThroughput) {
+  // Calibrate on two established servers, predict a third; ground truth
+  // built with paper-like parameter scalings.
+  const SyntheticServer f{186.0}, vf{320.0}, s_new{86.0};
+  const std::vector<Relationship1> established{fit_synthetic(f),
+                                               fit_synthetic(vf)};
+  const Relationship2 rel2 = fit_relationship2(established);
+  const Relationship1 derived = rel2.predict_for(86.0, s_new.gradient());
+
+  EXPECT_NEAR(derived.max_throughput_rps, 86.0, 1e-12);
+  // Upper equation: lambdaU = k / mx, with cU constant (-think).
+  EXPECT_NEAR(derived.lambda_upper, 1.0 / 86.0, 0.05 / 86.0);
+  EXPECT_NEAR(derived.c_upper, -7.0, 0.2);
+  // Post-saturation prediction lands near ground truth.
+  const double n = 2.0 * s_new.n_star();
+  EXPECT_NEAR(derived.predict_metric(n), s_new.rt(n), 0.05 * s_new.rt(n));
+}
+
+TEST(Relationship2, NeedsTwoServers) {
+  const SyntheticServer f{186.0};
+  EXPECT_THROW(fit_relationship2({fit_synthetic(f)}), std::invalid_argument);
+}
+
+TEST(Relationship3, LinearExtrapolationAndScaling) {
+  // Established server: 189 req/s at 0% buy, 158 at 25% (paper's values).
+  const Relationship3 rel =
+      fit_relationship3({0.0, 25.0}, {189.0, 158.0});
+  EXPECT_NEAR(rel.established(0.0), 189.0, 1e-9);
+  EXPECT_NEAR(rel.established(25.0), 158.0, 1e-9);
+  EXPECT_NEAR(rel.established(12.5), 173.5, 1e-9);
+  // New server with 86 req/s typical max: scaled by 86/189.
+  EXPECT_NEAR(rel.predict(25.0, 86.0), 158.0 * 86.0 / 189.0, 1e-9);
+  EXPECT_NEAR(rel.predict(0.0, 86.0), 86.0, 1e-9);
+}
+
+TEST(Relationship3, RejectsTooFewPoints) {
+  EXPECT_THROW(fit_relationship3({0.0}, {189.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epp::hydra

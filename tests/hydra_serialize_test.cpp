@@ -1,0 +1,86 @@
+#include "hydra/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epp::hydra {
+namespace {
+
+HistoricalModel sample_model(bool with_mix) {
+  HistoricalModel model(0.1413);
+  Relationship1 f;
+  f.c_lower = 0.00567;
+  f.lambda_lower = 0.00123;
+  f.lambda_upper = 0.00533;
+  f.c_upper = -6.91;
+  f.max_throughput_rps = 186.0;
+  f.gradient_m = 0.1413;
+  model.add_calibrated("AppServF", f);
+  Relationship1 vf = f;
+  vf.c_lower = 0.0039;
+  vf.lambda_lower = 0.00067;
+  vf.lambda_upper = 0.00308;
+  vf.max_throughput_rps = 320.0;
+  model.add_calibrated("AppServVF", vf);
+  if (with_mix) model.calibrate_mix({0.0, 25.0}, {186.0, 155.0});
+  return model;
+}
+
+TEST(HydraSerialize, RoundTripPreservesPredictions) {
+  const HistoricalModel original = sample_model(true);
+  const HistoricalModel loaded = model_from_text(to_text(original));
+  EXPECT_DOUBLE_EQ(loaded.gradient_m(), original.gradient_m());
+  ASSERT_EQ(loaded.servers().size(), 2u);
+  for (const std::string& server : original.servers()) {
+    for (double n : {200.0, 900.0, 1600.0, 3000.0}) {
+      EXPECT_DOUBLE_EQ(loaded.predict_metric(server, n),
+                       original.predict_metric(server, n))
+          << server << " n=" << n;
+      EXPECT_DOUBLE_EQ(loaded.predict_throughput(server, n),
+                       original.predict_throughput(server, n));
+    }
+    EXPECT_DOUBLE_EQ(loaded.predict_max_throughput(server, 25.0),
+                     original.predict_max_throughput(server, 25.0));
+  }
+}
+
+TEST(HydraSerialize, RoundTripWithoutMix) {
+  const HistoricalModel loaded = model_from_text(to_text(sample_model(false)));
+  EXPECT_FALSE(loaded.has_mix_calibration());
+}
+
+TEST(HydraSerialize, TextIsStableAcrossRoundTrips) {
+  const std::string once = to_text(sample_model(true));
+  EXPECT_EQ(to_text(model_from_text(once)), once);
+}
+
+TEST(HydraSerialize, RejectsMalformedInput) {
+  EXPECT_THROW(model_from_text(""), std::invalid_argument);
+  EXPECT_THROW(model_from_text("not-a-header\n"), std::invalid_argument);
+  EXPECT_THROW(model_from_text("hydra-model v1\n"), std::invalid_argument);
+  EXPECT_THROW(model_from_text("hydra-model v1\ngradient -1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      model_from_text("hydra-model v1\ngradient 0.14\nserver F 1 2\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      model_from_text("hydra-model v1\ngradient 0.14\nbogus record\n"),
+      std::invalid_argument);
+}
+
+TEST(HydraSerialize, CommentsAndBlankLinesTolerated) {
+  std::string text = to_text(sample_model(false));
+  text += "\n# trailing comment\n\n";
+  EXPECT_NO_THROW((void)model_from_text(text));
+}
+
+TEST(HydraSerialize, MixRelationshipRestored) {
+  const HistoricalModel loaded = model_from_text(to_text(sample_model(true)));
+  ASSERT_TRUE(loaded.has_mix_calibration());
+  EXPECT_NEAR(loaded.mix_relationship().established(25.0), 155.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace epp::hydra

@@ -1,0 +1,126 @@
+#include "lqn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace epp::lqn {
+namespace {
+
+Model minimal_model() {
+  Model m;
+  const auto box = m.add_processor({"box", Scheduling::kDelay, 1.0, 1});
+  const auto cpu = m.add_processor({"cpu", Scheduling::kProcessorSharing, 1.0, 1});
+  const auto clients = m.add_task(make_closed_client_task("clients", box, 10.0, 5.0));
+  const auto server = m.add_task(make_server_task("server", cpu, 4));
+  const auto cycle = m.add_entry({"cycle", clients, 0.0, {}});
+  const auto serve = m.add_entry({"serve", server, 0.01, {}});
+  m.add_call(cycle, serve, 1.0);
+  return m;
+}
+
+TEST(LqnModel, ValidModelValidates) {
+  EXPECT_NO_THROW(minimal_model().validate());
+}
+
+TEST(LqnModel, FindByName) {
+  const Model m = minimal_model();
+  EXPECT_TRUE(m.find_task("server").has_value());
+  EXPECT_TRUE(m.find_entry("serve").has_value());
+  EXPECT_TRUE(m.find_processor("cpu").has_value());
+  EXPECT_FALSE(m.find_task("nope").has_value());
+  EXPECT_FALSE(m.find_entry("nope").has_value());
+  EXPECT_FALSE(m.find_processor("nope").has_value());
+}
+
+TEST(LqnModel, ReferenceTasksListed) {
+  const Model m = minimal_model();
+  const auto refs = m.reference_tasks();
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(m.task(refs[0]).name, "clients");
+}
+
+TEST(LqnModel, RejectsDanglingReferences) {
+  Model m;
+  EXPECT_THROW(m.add_task(make_server_task("t", 5, 1)),
+               std::invalid_argument);
+  m.add_processor({"p", Scheduling::kProcessorSharing, 1.0, 1});
+  EXPECT_THROW(m.add_entry({"e", 3, 0.0, {}}), std::invalid_argument);
+  m.add_task(make_server_task("t", 0, 1));
+  m.add_entry({"e", 0, 0.0, {}});
+  EXPECT_THROW(m.add_call(0, 9, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.add_call(0, 0, -1.0), std::invalid_argument);
+}
+
+TEST(LqnModel, ValidateRejectsNoReferenceTask) {
+  Model m;
+  const auto cpu = m.add_processor({"cpu", Scheduling::kProcessorSharing, 1.0, 1});
+  m.add_task(make_server_task("server", cpu, 1));
+  m.add_entry({"serve", 0, 0.01, {}});
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(LqnModel, ValidateRejectsZeroPopulation) {
+  Model m = minimal_model();
+  m.task(*m.find_task("clients")).population = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(LqnModel, ValidateRejectsCallIntoReferenceTask) {
+  Model m = minimal_model();
+  m.add_call(*m.find_entry("serve"), *m.find_entry("cycle"), 1.0);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(LqnModel, ValidateRejectsSelfTaskCall) {
+  Model m = minimal_model();
+  const auto cpu = *m.find_processor("cpu");
+  const auto server = *m.find_task("server");
+  const auto extra = m.add_entry({"extra", server, 0.001, {}});
+  m.add_call(*m.find_entry("serve"), extra, 1.0);
+  (void)cpu;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(LqnModel, ValidateRejectsCycles) {
+  Model m = minimal_model();
+  const auto cpu2 = m.add_processor({"cpu2", Scheduling::kProcessorSharing, 1.0, 1});
+  const auto other = m.add_task(make_server_task("other", cpu2, 1));
+  const auto other_entry = m.add_entry({"other_e", other, 0.001, {}});
+  m.add_call(*m.find_entry("serve"), other_entry, 1.0);
+  m.add_call(other_entry, *m.find_entry("serve"), 1.0);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(LqnModel, ValidateRejectsTaskWithoutEntries) {
+  Model m = minimal_model();
+  m.add_task(make_server_task("empty", 1, 1));
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(LqnModel, VisitRatiosMultiplyAlongCallChain) {
+  Model m;
+  const auto box = m.add_processor({"box", Scheduling::kDelay, 1.0, 1});
+  const auto cpu = m.add_processor({"cpu", Scheduling::kProcessorSharing, 1.0, 1});
+  const auto clients = m.add_task(make_closed_client_task("clients", box, 5.0, 7.0));
+  const auto app = m.add_task(make_server_task("app", cpu, 1));
+  const auto db = m.add_task(make_server_task("db", cpu, 1));
+  const auto cycle = m.add_entry({"cycle", clients, 0.0, {}});
+  const auto serve = m.add_entry({"serve", app, 0.004, {}});
+  const auto query = m.add_entry({"query", db, 0.001, {}});
+  m.add_call(cycle, serve, 1.0);
+  m.add_call(serve, query, 1.14);
+  const auto visits = m.visit_ratios(clients);
+  EXPECT_DOUBLE_EQ(visits[cycle], 1.0);
+  EXPECT_DOUBLE_EQ(visits[serve], 1.0);
+  EXPECT_DOUBLE_EQ(visits[query], 1.14);
+  (void)db;
+}
+
+TEST(LqnModel, VisitRatiosRejectNonReference) {
+  const Model m = minimal_model();
+  EXPECT_THROW(m.visit_ratios(*m.find_task("server")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epp::lqn

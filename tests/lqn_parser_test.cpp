@@ -1,0 +1,114 @@
+#include "lqn/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "lqn/solver.hpp"
+
+namespace epp::lqn {
+namespace {
+
+constexpr const char* kTradeText = R"(
+# Trade case-study model
+processor client_box delay
+processor app_cpu ps speed=1.0
+processor db_cpu ps
+processor db_disk fifo
+
+task clients ref processor=client_box population=500 think=7.0
+task app processor=app_cpu multiplicity=50
+task db processor=db_cpu multiplicity=20
+task disk processor=db_disk
+
+entry cycle task=clients
+entry browse task=app demand=0.005376
+entry query task=db demand=0.00083
+entry io task=disk demand=0.0004
+
+call cycle browse 1.0
+call browse query 1.14
+call query io 1.0
+)";
+
+TEST(LqnParser, ParsesTradeModel) {
+  const Model m = parse_model(kTradeText);
+  EXPECT_EQ(m.processors().size(), 4u);
+  EXPECT_EQ(m.tasks().size(), 4u);
+  EXPECT_EQ(m.entries().size(), 4u);
+  EXPECT_NO_THROW(m.validate());
+  const auto app = m.find_task("app");
+  ASSERT_TRUE(app.has_value());
+  EXPECT_EQ(m.task(*app).multiplicity, 50u);
+  const auto clients = m.find_task("clients");
+  ASSERT_TRUE(clients.has_value());
+  EXPECT_TRUE(m.task(*clients).is_reference);
+  EXPECT_DOUBLE_EQ(m.task(*clients).population, 500.0);
+  EXPECT_DOUBLE_EQ(m.task(*clients).think_time_s, 7.0);
+}
+
+TEST(LqnParser, ParsedModelSolves) {
+  const Model m = parse_model(kTradeText);
+  const SolveResult r = LayeredSolver().solve(m);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.throughput_rps("clients"), 500.0 / 7.0, 2.0);
+}
+
+TEST(LqnParser, RoundTripPreservesStructureAndSolution) {
+  const Model original = parse_model(kTradeText);
+  const Model reparsed = parse_model(to_text(original));
+  EXPECT_EQ(reparsed.processors().size(), original.processors().size());
+  EXPECT_EQ(reparsed.tasks().size(), original.tasks().size());
+  EXPECT_EQ(reparsed.entries().size(), original.entries().size());
+  const double r1 = LayeredSolver().solve(original).response_time_s("clients");
+  const double r2 = LayeredSolver().solve(reparsed).response_time_s("clients");
+  EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+TEST(LqnParser, CommentsAndBlankLinesIgnored) {
+  const Model m = parse_model(
+      "# just a comment\n\nprocessor p ps # trailing comment\n");
+  EXPECT_EQ(m.processors().size(), 1u);
+}
+
+TEST(LqnParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_model("processor p ps\nbogus line here\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(LqnParser, RejectsUnknownReferences) {
+  EXPECT_THROW(parse_model("task t processor=missing\n"), std::invalid_argument);
+  EXPECT_THROW(parse_model("entry e task=missing\n"), std::invalid_argument);
+  EXPECT_THROW(parse_model("call a b 1.0\n"), std::invalid_argument);
+}
+
+TEST(LqnParser, RejectsDuplicatesAndBadNumbers) {
+  EXPECT_THROW(parse_model("processor p ps\nprocessor p ps\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_model("processor p ps speed=abc\n"), std::invalid_argument);
+  EXPECT_THROW(parse_model("processor p ps multiplicity=1.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_model("processor p bogus-sched\n"), std::invalid_argument);
+}
+
+TEST(LqnParser, ForwardCallReferencesAllowed) {
+  // Calls may appear before the entries they reference are declared.
+  const Model m = parse_model(R"(
+processor box delay
+processor cpu ps
+call cycle serve 1.0
+task clients ref processor=box population=5 think=1.0
+task server processor=cpu
+entry cycle task=clients
+entry serve task=server demand=0.01
+)");
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.entry(*m.find_entry("cycle")).calls.size(), 1u);
+}
+
+}  // namespace
+}  // namespace epp::lqn

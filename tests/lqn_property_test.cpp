@@ -1,0 +1,144 @@
+// Parameterized property sweeps over the layered solver: invariants that
+// must hold at every population, mix and server speed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trade_model.hpp"
+#include "lqn/solver.hpp"
+
+namespace epp::lqn {
+namespace {
+
+core::TradeCalibration cal() {
+  core::TradeCalibration c;
+  c.browse = {0.005376, 0.00083, 0.00040, 1.14};
+  c.buy = {0.010455, 0.00161, 0.00050, 2.0};
+  return c;
+}
+
+struct Scenario {
+  double speed;     // server speed ratio
+  double clients;   // total clients
+  double buy_frac;  // buy share of clients
+};
+
+class SolverInvariants : public ::testing::TestWithParam<Scenario> {
+ protected:
+  SolveResult solve() const {
+    const Scenario s = GetParam();
+    core::ServerArch arch{"server", s.speed, 50, 20};
+    core::WorkloadSpec w;
+    w.buy_clients = s.clients * s.buy_frac;
+    w.browse_clients = s.clients - w.buy_clients;
+    w.think_time_s = 7.0;
+    return LayeredSolver().solve(core::build_trade_lqn(cal(), arch, w));
+  }
+};
+
+TEST_P(SolverInvariants, LittlesLawPerClass) {
+  const SolveResult r = solve();
+  for (const ClassPrediction& c : r.classes) {
+    ASSERT_FALSE(c.open);
+    EXPECT_NEAR(c.throughput_rps * (c.think_time_s + c.response_time_s),
+                c.population, 1e-3 * c.population)
+        << c.name;
+  }
+}
+
+TEST_P(SolverInvariants, UtilizationsAreProbabilities) {
+  const SolveResult r = solve();
+  for (const auto& [name, u] : r.processor_utilization) {
+    EXPECT_GE(u, 0.0) << name;
+    EXPECT_LE(u, 1.0 + 1e-6) << name;
+  }
+  for (const auto& [name, u] : r.task_utilization) {
+    EXPECT_GE(u, -1e-9) << name;
+    EXPECT_LE(u, 1.0 + 1e-6) << name;
+  }
+}
+
+TEST_P(SolverInvariants, ThroughputWithinBottleneckBound) {
+  const Scenario s = GetParam();
+  core::ServerArch arch{"server", s.speed, 50, 20};
+  core::WorkloadSpec w;
+  w.buy_clients = s.clients * s.buy_frac;
+  w.browse_clients = s.clients - w.buy_clients;
+  w.think_time_s = 7.0;
+  const auto model = core::build_trade_lqn(cal(), arch, w);
+  LayeredSolver solver;
+  const SolveResult r = solver.solve(model);
+  const double bound = solver.max_throughput_bound_rps(model);
+  // The bound weights class demands by population share; at saturation the
+  // realised mix shifts slightly toward the cheaper class, so allow a few
+  // percent of headroom (it is an estimate, not a hard ceiling).
+  EXPECT_LE(r.total_throughput_rps(), bound * 1.08);
+}
+
+TEST_P(SolverInvariants, SolvesQuicklyAndConverges) {
+  const SolveResult r = solve();
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.solve_time_s, 2.0);
+}
+
+TEST_P(SolverInvariants, ResponseTimesPositiveAndOrdered) {
+  const SolveResult r = solve();
+  for (const ClassPrediction& c : r.classes) EXPECT_GT(c.response_time_s, 0.0);
+  if (r.classes.size() == 2) {
+    // Buy requests are heavier than browse at any load.
+    EXPECT_GT(r.response_time_s("buy_clients"),
+              r.response_time_s("browse_clients"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SolverInvariants,
+    ::testing::Values(Scenario{0.46, 100, 0.0}, Scenario{0.46, 700, 0.25},
+                      Scenario{1.0, 50, 0.5}, Scenario{1.0, 1316, 0.0},
+                      Scenario{1.0, 2600, 0.1}, Scenario{1.72, 400, 0.0},
+                      Scenario{1.72, 2262, 0.25}, Scenario{1.72, 6000, 0.0},
+                      Scenario{3.0, 9000, 0.05}));
+
+class PopulationMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(PopulationMonotone, RtNonDecreasingThroughputBounded) {
+  const double speed = GetParam();
+  core::ServerArch arch{"server", speed, 50, 20};
+  double prev_rt = 0.0, prev_x = 0.0;
+  for (double n = 100.0; n <= 4000.0 * speed; n *= 1.6) {
+    const auto model =
+        core::build_trade_lqn(cal(), arch, {n, 0.0, 7.0});
+    const SolveResult r = LayeredSolver().solve(model);
+    const double rt = r.response_time_s("browse_clients");
+    const double x = r.throughput_rps("browse_clients");
+    EXPECT_GE(rt, prev_rt - 1e-9) << "speed=" << speed << " n=" << n;
+    EXPECT_GE(x, prev_x - 1e-6) << "speed=" << speed << " n=" << n;
+    prev_rt = rt;
+    prev_x = x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, PopulationMonotone,
+                         ::testing::Values(0.46, 1.0, 1.72, 2.5));
+
+class ConvergenceCriterion : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConvergenceCriterion, LooserToleranceNeverDiverges) {
+  SolverOptions options;
+  options.convergence_tol_s = GetParam();
+  const auto model =
+      core::build_trade_lqn(cal(), core::arch_f(), {1500.0, 0.0, 7.0});
+  const SolveResult r = LayeredSolver(options).solve(model);
+  EXPECT_TRUE(r.converged);
+  // Tight reference.
+  const SolveResult tight = LayeredSolver().solve(model);
+  EXPECT_NEAR(r.response_time_s("browse_clients"),
+              tight.response_time_s("browse_clients"),
+              10.0 * GetParam() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, ConvergenceCriterion,
+                         ::testing::Values(1e-7, 1e-4, 2e-2, 1e-1));
+
+}  // namespace
+}  // namespace epp::lqn

@@ -1,0 +1,117 @@
+#include "sim/trade/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace epp::sim::trade {
+namespace {
+
+ClusterConfig two_server_config(std::size_t clients_f, std::size_t clients_vf,
+                                std::uint64_t seed = 5) {
+  ClusterConfig config;
+  config.servers = {app_serv_f(), app_serv_vf()};
+  ClusterClassSpec browse;
+  browse.name = "browse";
+  browse.clients_per_server = {clients_f, clients_vf};
+  config.classes.push_back(browse);
+  config.warmup_s = 30.0;
+  config.measure_s = 120.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Cluster, ValidationRejectsBadConfigs) {
+  ClusterConfig empty;
+  EXPECT_THROW(run_cluster(empty), std::invalid_argument);
+  ClusterConfig bad = two_server_config(10, 10);
+  bad.classes[0].clients_per_server = {10};  // row/server mismatch
+  EXPECT_THROW(run_cluster(bad), std::invalid_argument);
+}
+
+TEST(Cluster, LightLoadThroughputAdds) {
+  const ClusterRunResult r = run_cluster(two_server_config(200, 300));
+  EXPECT_NEAR(r.total_throughput_rps, 500.0 / 7.05, 3.5);
+  EXPECT_EQ(r.per_class.at("browse").completions,
+            r.per_bucket.at("browse@0").completions +
+                r.per_bucket.at("browse@1").completions);
+}
+
+TEST(Cluster, PerServerBucketsTrackServerSpeed) {
+  // Same load on both servers: the slower (F) responds slower than VF.
+  const ClusterRunResult r = run_cluster(two_server_config(1200, 1200));
+  EXPECT_GT(r.per_bucket.at("browse@0").mean_rt_s,
+            r.per_bucket.at("browse@1").mean_rt_s);
+  EXPECT_GT(r.app_cpu_utilization[0], r.app_cpu_utilization[1]);
+}
+
+TEST(Cluster, SaturatedServerCapsItsThroughput) {
+  // Overload F, keep VF light: total ~= max_F + light VF contribution.
+  const ClusterRunResult r = run_cluster(two_server_config(2400, 200));
+  EXPECT_NEAR(r.total_throughput_rps, 186.0 + 200.0 / 7.05, 16.0);
+  EXPECT_GT(r.app_cpu_utilization[0], 0.96);
+  EXPECT_LT(r.app_cpu_utilization[1], 0.35);
+}
+
+TEST(Cluster, MatchesSingleServerTestbed) {
+  // A one-server cluster must agree with the single-server testbed.
+  ClusterConfig config;
+  config.servers = {app_serv_f()};
+  ClusterClassSpec browse;
+  browse.name = "browse";
+  browse.clients_per_server = {800};
+  config.classes.push_back(browse);
+  config.warmup_s = 30.0;
+  config.measure_s = 120.0;
+  config.seed = 9;
+  const ClusterRunResult cluster = run_cluster(config);
+
+  TestbedConfig single = typical_workload(app_serv_f(), 800, 10);
+  single.warmup_s = 30.0;
+  single.measure_s = 120.0;
+  const RunResult testbed = run_testbed(single);
+  EXPECT_NEAR(cluster.total_throughput_rps, testbed.throughput_rps,
+              0.03 * testbed.throughput_rps);
+  EXPECT_NEAR(cluster.per_class.at("browse").mean_rt_s, testbed.mean_rt_s,
+              0.15 * testbed.mean_rt_s);
+}
+
+TEST(Cluster, MixedClassesPerServer) {
+  ClusterConfig config;
+  config.servers = {app_serv_f(), app_serv_vf()};
+  ClusterClassSpec buy;
+  buy.name = "buy";
+  buy.type = UserType::kBuy;
+  buy.clients_per_server = {150, 0};
+  ClusterClassSpec browse;
+  browse.name = "browse";
+  browse.clients_per_server = {400, 900};
+  config.classes = {buy, browse};
+  config.warmup_s = 30.0;
+  config.measure_s = 120.0;
+  const ClusterRunResult r = run_cluster(config);
+  EXPECT_GT(r.per_class.at("buy").completions, 0u);
+  EXPECT_GT(r.per_class.at("buy").mean_rt_s,
+            r.per_bucket.at("browse@1").mean_rt_s);
+  EXPECT_EQ(r.per_bucket.count("buy@1"), 0u);  // none routed to VF
+}
+
+TEST(Cluster, DeterministicForFixedSeed) {
+  const ClusterRunResult a = run_cluster(two_server_config(300, 300, 77));
+  const ClusterRunResult b = run_cluster(two_server_config(300, 300, 77));
+  EXPECT_DOUBLE_EQ(a.total_throughput_rps, b.total_throughput_rps);
+  EXPECT_DOUBLE_EQ(a.per_class.at("browse").mean_rt_s,
+                   b.per_class.at("browse").mean_rt_s);
+}
+
+TEST(Cluster, DbSharedAcrossServers) {
+  // Both servers saturated: the shared DB sees the sum of their request
+  // streams but stays under-utilised in the case-study regime.
+  const ClusterRunResult r = run_cluster(two_server_config(2400, 4100));
+  EXPECT_GT(r.total_throughput_rps, 450.0);
+  EXPECT_LT(r.db_cpu_utilization, 0.75);
+  EXPECT_GT(r.db_cpu_utilization, 0.25);
+}
+
+}  // namespace
+}  // namespace epp::sim::trade

@@ -1,0 +1,94 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace epp::sim {
+namespace {
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, EqualTimesRunFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    engine.schedule_at(1.0, [&, i] { order.push_back(i); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  double fired_at = -1.0;
+  engine.schedule_at(5.0, [&] {
+    engine.schedule_after(2.5, [&] { fired_at = engine.now(); });
+  });
+  engine.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool ran = false;
+  auto handle = engine.schedule_at(1.0, [&] { ran = true; });
+  Engine::cancel(handle);
+  engine.run_all();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(engine.events_processed(), 0u);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&] { ++count; });
+  engine.schedule_at(2.0, [&] { ++count; });
+  engine.schedule_at(3.0, [&] { ++count; });
+  engine.run_until(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run_until(10.0);
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, PastSchedulingRejected) {
+  Engine engine;
+  engine.schedule_at(5.0, [] {});
+  engine.run_all();
+  EXPECT_THROW(engine.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine engine;
+  EXPECT_FALSE(engine.step());
+  engine.schedule_at(1.0, [] {});
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) engine.schedule_after(1.0, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run_all();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(engine.events_processed(), 100u);
+}
+
+}  // namespace
+}  // namespace epp::sim

@@ -1,0 +1,79 @@
+#include "sim/trade/session_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace epp::sim::trade {
+namespace {
+
+TEST(SessionCache, DisabledCacheNeverMisses) {
+  SessionCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_TRUE(cache.access(1, 100));
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(SessionCache, FirstAccessMissesThenHits) {
+  SessionCache cache(1000);
+  EXPECT_FALSE(cache.access(1, 100));
+  EXPECT_TRUE(cache.access(1, 100));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.miss_ratio(), 0.5);
+}
+
+TEST(SessionCache, LruEvictionOrder) {
+  SessionCache cache(300);
+  cache.access(1, 100);
+  cache.access(2, 100);
+  cache.access(3, 100);
+  cache.access(1, 100);  // 1 becomes MRU; LRU order is now 2, 3, 1
+  cache.access(4, 100);  // evicts 2
+  EXPECT_FALSE(cache.access(2, 100));  // 2 was evicted (this evicts 3)
+  EXPECT_EQ(cache.used_bytes(), 300u);
+}
+
+TEST(SessionCache, SessionGrowthResizesInPlace) {
+  SessionCache cache(1000);
+  cache.access(1, 100);
+  EXPECT_TRUE(cache.access(1, 400));  // grown portfolio, still a hit
+  EXPECT_EQ(cache.used_bytes(), 400u);
+}
+
+TEST(SessionCache, InvalidateFreesSpace) {
+  SessionCache cache(200);
+  cache.access(1, 100);
+  cache.access(2, 100);
+  cache.invalidate(1);
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  EXPECT_FALSE(cache.access(1, 100));  // must be refetched
+}
+
+TEST(SessionCache, InvalidateUnknownIsNoop) {
+  SessionCache cache(100);
+  cache.invalidate(42);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(SessionCache, ActiveSessionNeverEvicted) {
+  SessionCache cache(100);
+  cache.access(1, 500);  // larger than the whole cache
+  EXPECT_EQ(cache.used_bytes(), 500u);  // resident while in use
+  cache.access(2, 50);   // evicts 1, keeps 2
+  EXPECT_EQ(cache.used_bytes(), 50u);
+}
+
+TEST(SessionCache, MissRatioGrowsWhenWorkingSetExceedsCapacity) {
+  SessionCache small(5 * 100);
+  SessionCache large(100 * 100);
+  // 50 clients round-robin, 100-byte sessions, several passes.
+  for (int pass = 0; pass < 10; ++pass)
+    for (std::uint64_t c = 0; c < 50; ++c) {
+      small.access(c, 100);
+      large.access(c, 100);
+    }
+  EXPECT_GT(small.miss_ratio(), 0.9);   // thrashing
+  EXPECT_LT(large.miss_ratio(), 0.15);  // only cold misses
+}
+
+}  // namespace
+}  // namespace epp::sim::trade

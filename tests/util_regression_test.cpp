@@ -1,0 +1,115 @@
+#include "util/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace epp::util {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.5 * xi - 2.0);
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, SolveForXInverts) {
+  const LinearFit fit{2.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(fit.solve_for_x(fit(7.0)), 7.0);
+}
+
+TEST(LinearFit, ZeroSlopeNotInvertible) {
+  const LinearFit fit{0.0, 1.0, 1.0};
+  EXPECT_THROW(fit.solve_for_x(5.0), std::domain_error);
+}
+
+TEST(LinearFit, NoisyDataCloseRecovery) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = static_cast<double>(i);
+    x.push_back(xi);
+    y.push_back(0.14 * xi + 5.0 + rng.uniform(-0.5, 0.5));
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.14, 0.005);
+  EXPECT_NEAR(fit.intercept, 5.0, 0.5);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, RejectsDegenerateInputs) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_linear(one, one), std::invalid_argument);
+  const std::vector<double> constant{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_linear(constant, y), std::invalid_argument);
+  EXPECT_THROW(fit_linear(y, one), std::invalid_argument);
+}
+
+TEST(ExponentialFit, RecoversExactExponential) {
+  // mrt = cL * exp(lambdaL * n): the historical method's lower equation.
+  const double c = 84.1, lambda = 1e-4;
+  std::vector<double> x, y;
+  for (double n = 100; n <= 1000; n += 100) {
+    x.push_back(n);
+    y.push_back(c * std::exp(lambda * n));
+  }
+  const ExponentialFit fit = fit_exponential(x, y);
+  EXPECT_NEAR(fit.coeff, c, 1e-9);
+  EXPECT_NEAR(fit.rate, lambda, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(ExponentialFit, EvaluationAndInverse) {
+  const ExponentialFit fit{2.0, 0.5, 1.0};
+  EXPECT_NEAR(fit(2.0), 2.0 * std::exp(1.0), 1e-12);
+  EXPECT_NEAR(fit.solve_for_x(fit(3.0)), 3.0, 1e-12);
+}
+
+TEST(ExponentialFit, RejectsNonPositiveY) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0, 0.0};
+  EXPECT_THROW(fit_exponential(x, y), std::invalid_argument);
+}
+
+TEST(PowerFit, RecoversExactPowerLaw) {
+  // lambdaL = C * mx_throughput^Delta: the historical method's
+  // relationship-2 form for the exponential rate parameter.
+  const double c = 3.0, e = -1.7;
+  std::vector<double> x, y;
+  for (double t = 50; t <= 400; t += 50) {
+    x.push_back(t);
+    y.push_back(c * std::pow(t, e));
+  }
+  const PowerFit fit = fit_power(x, y);
+  EXPECT_NEAR(fit.coeff, c, 1e-9);
+  EXPECT_NEAR(fit.exponent, e, 1e-12);
+}
+
+TEST(PowerFit, RejectsNonPositiveInputs) {
+  const std::vector<double> bad{-1.0, 2.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(fit_power(bad, y), std::invalid_argument);
+  EXPECT_THROW(fit_power(y, bad), std::invalid_argument);
+}
+
+TEST(LinearFit, TwoPointsExact) {
+  // The paper stresses that nldp = nudp = 2 data points are enough; a
+  // two-point fit must pass through both.
+  const std::vector<double> x{100.0, 500.0};
+  const std::vector<double> y{250.0, 1250.0};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit(100.0), 250.0, 1e-9);
+  EXPECT_NEAR(fit(500.0), 1250.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace epp::util

@@ -1,0 +1,112 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace epp::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  Rng a(42, 7), b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(42, 0), b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1, 0), b(2, 0);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(123);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 9.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossSmallRange) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(10)];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.15);
+}
+
+TEST(Rng, BelowZeroReturnsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(7.0);
+  EXPECT_NEAR(sum / kDraws, 7.0, 0.1);
+}
+
+TEST(Rng, ExponentialNonPositiveMeanIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.exponential(0.0), 0.0);
+  EXPECT_EQ(rng.exponential(-1.0), 0.0);
+}
+
+TEST(Rng, GeometricTrialsMeanMatches) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i)
+    sum += static_cast<double>(rng.geometric_trials(0.1));
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.2);
+}
+
+TEST(Rng, GeometricTrialsAtLeastOne) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(rng.geometric_trials(0.9), 1u);
+  EXPECT_EQ(rng.geometric_trials(1.0), 1u);
+}
+
+TEST(Rng, BernoulliFrequencyMatches) {
+  Rng rng(17);
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.14);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.14, 0.01);
+}
+
+TEST(Rng, SpawnProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.spawn();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (parent() == child());
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace epp::util
