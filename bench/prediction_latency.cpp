@@ -7,9 +7,16 @@
 //   * historical predictions are near-instant and invert in closed form;
 //   * hybrid predictions pay a one-off start-up delay per architecture
 //     (11 s in the paper) and are then as fast as historical.
+//
+// Plus the engine the latency numbers motivate: the svc::BatchPredictor
+// evaluates whole sweeps concurrently on the thread pool and memoizes
+// results, so repeated capacity sweeps are answered from cache.
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "common.hpp"
+#include "svc/batch_predictor.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -20,6 +27,12 @@ double mean_latency_us(int iterations, Fn&& fn) {
   const epp::util::Timer timer;
   for (int i = 0; i < iterations; ++i) fn(i);
   return timer.elapsed_us() / iterations;
+}
+
+epp::core::WorkloadSpec browse_load(double clients) {
+  epp::core::WorkloadSpec w;
+  w.browse_clients = clients;
+  return w;
 }
 
 }  // namespace
@@ -86,5 +99,65 @@ int main() {
                "closed-form inversion and microseconds; the layered method "
                "is orders of magnitude slower per prediction and must "
                "search for capacities.\n";
+
+  // -- Batch engine: throughput scaling with thread count ------------------
+  // An LQN-heavy sweep (the expensive method) fanned out on the pool: the
+  // grid a capacity planner evaluates when comparing candidate servers.
+  std::vector<svc::PredictionRequest> lqn_grid;
+  for (const std::string& server : bench::server_names())
+    for (double clients = 200.0; clients <= 1400.0; clients += 50.0)
+      lqn_grid.push_back({svc::Method::kLqn, server, browse_load(clients)});
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "\n-- batch engine: LQN sweep throughput vs thread count ("
+            << lqn_grid.size() << " predictions, cold cache, " << hw
+            << " hardware thread(s) available) --\n";
+  util::Table scaling({"threads", "wall_ms", "predictions_per_s"});
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+  for (const std::size_t threads : thread_counts) {
+    util::ThreadPool pool(threads);
+    svc::BatchPredictor batch(setup.historical.get(), setup.lqn.get(),
+                              &fresh_hybrid);
+    const util::Timer timer;
+    (void)batch.predict_batch(lqn_grid, &pool);
+    const double ms = timer.elapsed_us() / 1e3;
+    scaling.add_row({std::to_string(threads), util::fmt(ms, 1),
+                     util::fmt(static_cast<double>(lqn_grid.size()) /
+                                   (ms / 1e3), 0)});
+  }
+  scaling.print(std::cout);
+
+  // -- Batch engine: warm-cache speedup on a repeated sweep ----------------
+  // The same mixed-method grid twice, as a resource manager re-evaluating
+  // candidate allocations; pass 2 is answered from the memoization cache.
+  std::vector<svc::PredictionRequest> mixed_grid;
+  for (const svc::Method method :
+       {svc::Method::kHistorical, svc::Method::kLqn, svc::Method::kHybrid})
+    for (const std::string& server : bench::server_names())
+      for (double clients = 200.0; clients <= 1400.0; clients += 50.0)
+        mixed_grid.push_back({method, server, browse_load(clients)});
+
+  util::ThreadPool pool;
+  svc::BatchPredictor batch(setup.historical.get(), setup.lqn.get(),
+                            &fresh_hybrid);
+  const util::Timer cold_timer;
+  (void)batch.predict_batch(mixed_grid, &pool);
+  const double cold_ms = cold_timer.elapsed_us() / 1e3;
+  const util::Timer warm_timer;
+  (void)batch.predict_batch(mixed_grid, &pool);
+  const double warm_ms = warm_timer.elapsed_us() / 1e3;
+  const svc::CacheStats stats = batch.cache_stats();
+
+  std::cout << "\n-- batch engine: repeated sweep, cold vs warm cache ("
+            << mixed_grid.size() << " predictions/pass) --\n";
+  util::Table cache_table({"pass", "wall_ms", "cache"});
+  cache_table.add_row({"cold", util::fmt(cold_ms, 2), "all misses"});
+  cache_table.add_row({"warm", util::fmt(warm_ms, 2), "all hits"});
+  cache_table.print(std::cout);
+  std::cout << "warm-cache speedup: " << util::fmt(cold_ms / warm_ms, 1)
+            << "x  (hits " << stats.hits << ", misses " << stats.misses
+            << ", hit ratio " << util::fmt(100.0 * stats.hit_ratio(), 1)
+            << "%)\n";
   return 0;
 }

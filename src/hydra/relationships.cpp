@@ -40,13 +40,20 @@ double Relationship1::predict_metric(double clients) const {
   };
   const auto upper = [&](double n) { return lambda_upper * n + c_upper; };
   if (clients <= n1) return lower(clients);
+  // The transition phasing needs a non-degenerate band (lo < hi) with
+  // positive endpoint values; a strongly negative fitted intercept c_upper
+  // can make upper(n2) <= 0, where the two-point exponential is undefined
+  // (it used to throw domain_error mid-range) and where the upper equation
+  // alone would predict negative response times just past the band. In
+  // either degenerate case, hard-switch between the equations, taking the
+  // larger so the curve stays monotone and positive until the upper
+  // equation takes over naturally.
+  const double y1 = lower(n1), y2 = upper(n2);
+  const bool phased = n2 > n1 && y1 > 0.0 && y2 > 0.0;
+  if (!phased) return std::max(lower(clients), upper(clients));
   if (clients >= n2) return upper(clients);
-  // A degenerate band (lo >= hi) means "no transition relationship": hard
-  // switch at the max-throughput load, taking the larger equation so the
-  // curve stays monotone.
-  if (n2 <= n1) return std::max(lower(clients), upper(clients));
   // Exponential phasing between the two equations across the band.
-  const TwoPointExp transition = exp_through(n1, lower(n1), n2, upper(n2));
+  const TwoPointExp transition = exp_through(n1, y1, n2, y2);
   return transition(clients);
 }
 
@@ -101,9 +108,7 @@ Relationship1 fit_relationship1(const std::vector<DataPoint>& lower,
 
   Relationship1 rel;
   rel.c_lower = low.coeff;
-  // A flat or (noisy) slightly decreasing lower trend is clamped to a tiny
-  // positive rate so the prediction curve stays monotone.
-  rel.lambda_lower = std::max(low.rate, 1e-12);
+  rel.lambda_lower = std::max(low.rate, kMinLambdaLower);
   rel.lambda_upper = up.slope;
   rel.c_upper = up.intercept;
   rel.max_throughput_rps = max_throughput_rps;
@@ -132,7 +137,8 @@ Relationship1 Relationship2::predict_for(double max_throughput_rps,
                                          double gradient_m) const {
   Relationship1 rel;
   rel.c_lower = c_lower_vs_max_tput(max_throughput_rps);
-  rel.lambda_lower = std::max(lambda_lower_vs_max_tput(max_throughput_rps), 1e-12);
+  rel.lambda_lower =
+      std::max(lambda_lower_vs_max_tput(max_throughput_rps), kMinLambdaLower);
   rel.lambda_upper = lambda_upper_times_max_tput / max_throughput_rps;
   rel.c_upper = c_upper_mean;
   rel.max_throughput_rps = max_throughput_rps;
@@ -148,18 +154,35 @@ Relationship2 fit_relationship2(const std::vector<Relationship1>& servers) {
   if (servers.size() < 2)
     throw std::invalid_argument(
         "fit_relationship2: need at least two established servers");
-  std::vector<double> mx, cl, ll;
-  double k = 0.0, cu = 0.0;
+  std::vector<double> mx, cl, lx, ly;
+  double k = 0.0, cu = 0.0, ll_sum = 0.0;
   for (const Relationship1& s : servers) {
     mx.push_back(s.max_throughput_rps);
     cl.push_back(s.c_lower);
-    ll.push_back(s.lambda_lower);
+    // Rates at the clamp floor are artifacts of a flat lower fit, not
+    // measurements; their logs (~ -27.6) would dominate the log-log
+    // regression and wildly skew the cross-server power law, so only
+    // genuine rates enter it.
+    if (s.lambda_lower > kMinLambdaLower) {
+      lx.push_back(s.max_throughput_rps);
+      ly.push_back(s.lambda_lower);
+    }
+    ll_sum += s.lambda_lower;
     k += s.lambda_upper * s.max_throughput_rps;
     cu += s.c_upper;
   }
   Relationship2 rel;
   rel.c_lower_vs_max_tput = util::fit_linear(mx, cl);
-  rel.lambda_lower_vs_max_tput = util::fit_power(mx, ll);
+  if (ly.size() >= 2) {
+    rel.lambda_lower_vs_max_tput = util::fit_power(lx, ly);
+  } else {
+    // Fewer than two genuine rates leave no trend to fit: fall back to a
+    // constant power law (exponent 0) at the mean observed rate.
+    rel.lambda_lower_vs_max_tput.coeff =
+        ll_sum / static_cast<double>(servers.size());
+    rel.lambda_lower_vs_max_tput.exponent = 0.0;
+    rel.lambda_lower_vs_max_tput.r_squared = 0.0;
+  }
   rel.lambda_upper_times_max_tput = k / static_cast<double>(servers.size());
   rel.c_upper_mean = cu / static_cast<double>(servers.size());
   return rel;

@@ -29,6 +29,12 @@
 
 namespace epp::hydra {
 
+/// Floor applied to fitted lower-equation rates: a flat or (noisy)
+/// slightly decreasing lower trend is clamped here so the prediction
+/// curve stays monotone. Cross-server fitting (relationship 2) treats
+/// rates at the floor as degenerate — see fit_relationship2.
+inline constexpr double kMinLambdaLower = 1e-12;
+
 /// One historical observation: the chosen metric (mean response time by
 /// default) at a number of clients, averaged over `samples` samples.
 struct DataPoint {

@@ -1,0 +1,102 @@
+#include "svc/batch_predictor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epp::svc {
+namespace {
+
+std::int64_t snap(double value, double quantum) {
+  return static_cast<std::int64_t>(std::llround(value / quantum));
+}
+
+}  // namespace
+
+BatchPredictor::BatchPredictor(const core::Predictor* historical,
+                               const core::Predictor* lqn,
+                               const core::Predictor* hybrid,
+                               BatchOptions options)
+    : historical_(historical),
+      lqn_(lqn),
+      hybrid_(hybrid),
+      options_(options),
+      cache_(options.cache_capacity_per_shard, options.cache_shards) {
+  if (options_.quantum_clients <= 0.0 || options_.quantum_think_s <= 0.0)
+    throw std::invalid_argument("BatchPredictor: quanta must be positive");
+}
+
+const core::Predictor& BatchPredictor::predictor_for(Method method) const {
+  const core::Predictor* predictor = nullptr;
+  switch (method) {
+    case Method::kHistorical:
+      predictor = historical_;
+      break;
+    case Method::kLqn:
+      predictor = lqn_;
+      break;
+    case Method::kHybrid:
+      predictor = hybrid_;
+      break;
+  }
+  if (predictor == nullptr)
+    throw std::invalid_argument("BatchPredictor: no '" +
+                                std::string(method_name(method)) +
+                                "' predictor supplied");
+  return *predictor;
+}
+
+core::WorkloadSpec BatchPredictor::quantized(
+    const core::WorkloadSpec& workload) const {
+  core::WorkloadSpec q;
+  q.browse_clients = static_cast<double>(snap(workload.browse_clients,
+                                              options_.quantum_clients)) *
+                     options_.quantum_clients;
+  q.buy_clients =
+      static_cast<double>(snap(workload.buy_clients, options_.quantum_clients)) *
+      options_.quantum_clients;
+  q.think_time_s =
+      static_cast<double>(snap(workload.think_time_s, options_.quantum_think_s)) *
+      options_.quantum_think_s;
+  return q;
+}
+
+CacheKey BatchPredictor::key_for(const PredictionRequest& request) const {
+  CacheKey key;
+  key.method = request.method;
+  key.server = request.server;
+  key.browse_q = snap(request.workload.browse_clients, options_.quantum_clients);
+  key.buy_q = snap(request.workload.buy_clients, options_.quantum_clients);
+  key.think_q = snap(request.workload.think_time_s, options_.quantum_think_s);
+  return key;
+}
+
+PredictionResult BatchPredictor::predict(
+    const PredictionRequest& request) const {
+  const CacheKey key = key_for(request);
+  if (const auto hit = cache_.lookup(key))
+    return {hit->mean_rt_s, hit->throughput_rps, true};
+
+  const core::Predictor& predictor = predictor_for(request.method);
+  const core::WorkloadSpec workload = quantized(request.workload);
+  CachedPrediction fresh;
+  fresh.mean_rt_s = predictor.predict_mean_rt_s(request.server, workload);
+  fresh.throughput_rps =
+      predictor.predict_throughput_rps(request.server, workload);
+  cache_.insert(key, fresh);
+  return {fresh.mean_rt_s, fresh.throughput_rps, false};
+}
+
+std::vector<PredictionResult> BatchPredictor::predict_batch(
+    const std::vector<PredictionRequest>& requests,
+    util::ThreadPool* pool) const {
+  std::vector<PredictionResult> results(requests.size());
+  const auto evaluate = [&](std::size_t i) { results[i] = predict(requests[i]); };
+  if (pool != nullptr && requests.size() > 1) {
+    pool->parallel_for(requests.size(), evaluate);
+  } else {
+    for (std::size_t i = 0; i < requests.size(); ++i) evaluate(i);
+  }
+  return results;
+}
+
+}  // namespace epp::svc

@@ -5,6 +5,13 @@
 #include <exception>
 
 namespace epp::util {
+namespace {
+
+// Which pool (if any) the current thread is a worker of; lets parallel_for
+// detect re-entrant calls from its own workers.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -23,6 +30,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -59,11 +67,22 @@ void ThreadPool::parallel_for(std::size_t n,
     }
   };
 
-  const std::size_t lanes = std::min(n, size());
-  std::vector<std::future<void>> futures;
-  futures.reserve(lanes);
-  for (std::size_t i = 0; i < lanes; ++i) futures.push_back(submit(body));
-  for (auto& f : futures) f.get();
+  if (t_worker_pool == this) {
+    // Re-entrant call from one of this pool's own workers: any lane we
+    // submitted would sit behind the tasks currently occupying the
+    // workers (our own caller included), so waiting on it could deadlock.
+    // The calling worker runs the whole range as the only lane.
+    body();
+  } else {
+    const std::size_t lanes = std::min(n, size());
+    std::vector<std::future<void>> futures;
+    futures.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) futures.push_back(submit(body));
+    // The caller works too: its lane starts immediately even when the
+    // submitted ones are queued behind unrelated tasks.
+    body();
+    for (auto& f : futures) f.get();
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -1,7 +1,11 @@
 // Fixed-size worker pool used to parallelise embarrassingly parallel work:
-// independent simulation replications, per-server calibration runs and the
-// load sweeps behind figures 2-8. Tasks must not submit nested blocking
-// work into the same pool (no work stealing; that would deadlock).
+// independent simulation replications, per-server calibration runs, the
+// load sweeps behind figures 2-8 and the batch prediction engine. The
+// calling thread always participates in parallel_for as one lane, and a
+// worker re-entering its own pool runs the whole range itself instead of
+// enqueuing lanes it would then deadlock waiting on — so parallel stages
+// compose (an outer parallel_for body may call parallel_for again).
+// Nested blocking submit()+get() from inside a worker still deadlocks.
 #pragma once
 
 #include <condition_variable>

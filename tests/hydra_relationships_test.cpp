@@ -110,6 +110,66 @@ TEST(Relationship1, FitRejectsTooFewPoints) {
                std::invalid_argument);
 }
 
+TEST(Relationship1, NegativeUpperInterceptFallsBackToHardSwitch) {
+  // Regression: a fitted c_upper negative enough that upper(n2) <= 0 made
+  // the two-point transition exponential throw domain_error mid-range;
+  // it must fall back to the hard switch max(lower, upper) instead.
+  Relationship1 rel;
+  rel.c_lower = 0.05;
+  rel.lambda_lower = 5e-4;
+  rel.lambda_upper = 1.0 / 186.0;
+  rel.c_upper = -9.0;  // upper(n2) = n2/186 - 9 < 0 inside the band
+  rel.max_throughput_rps = 186.0;
+  rel.gradient_m = 0.14;
+  const double n_star = rel.clients_at_max_throughput();
+  const double n2 = rel.transition_hi * n_star;
+  ASSERT_LE(rel.lambda_upper * n2 + rel.c_upper, 0.0);  // scenario holds
+  double prev = 0.0;
+  for (double n = 0.0; n <= 1.5 * n2; n += n2 / 64.0) {
+    double rt = 0.0;
+    ASSERT_NO_THROW(rt = rel.predict_metric(n)) << n;
+    EXPECT_GT(rt, 0.0) << n;
+    EXPECT_GE(rt, prev - 1e-12) << n;  // still monotone
+    prev = rt;
+  }
+  // Inside the band the fallback is exactly the hard switch.
+  const double mid = 0.5 * (rel.transition_lo + rel.transition_hi) * n_star;
+  const double lower = rel.c_lower * std::exp(rel.lambda_lower * mid);
+  const double upper = rel.lambda_upper * mid + rel.c_upper;
+  EXPECT_DOUBLE_EQ(rel.predict_metric(mid), std::max(lower, upper));
+  // The closed-form inverse keeps working through the fallback region.
+  const double goal = rel.predict_metric(1.3 * n_star);
+  EXPECT_NEAR(rel.clients_for_metric(goal), 1.3 * n_star, 0.02 * n_star);
+}
+
+TEST(Relationship2, ExcludesClampedLambdaLowerFromPowerFit) {
+  // A server whose flat lower trend was clamped to kMinLambdaLower would
+  // otherwise drag the cross-server power law towards log(1e-12).
+  const SyntheticServer f{186.0}, vf{320.0};
+  Relationship1 clamped = fit_synthetic(SyntheticServer{86.0});
+  clamped.lambda_lower = kMinLambdaLower;
+  const Relationship2 with_clamped =
+      fit_relationship2({fit_synthetic(f), fit_synthetic(vf), clamped});
+  const Relationship2 genuine_only =
+      fit_relationship2({fit_synthetic(f), fit_synthetic(vf)});
+  EXPECT_DOUBLE_EQ(with_clamped.lambda_lower_vs_max_tput.coeff,
+                   genuine_only.lambda_lower_vs_max_tput.coeff);
+  EXPECT_DOUBLE_EQ(with_clamped.lambda_lower_vs_max_tput.exponent,
+                   genuine_only.lambda_lower_vs_max_tput.exponent);
+}
+
+TEST(Relationship2, AllClampedFallsBackToConstantRate) {
+  Relationship1 a = fit_synthetic(SyntheticServer{186.0});
+  Relationship1 b = fit_synthetic(SyntheticServer{320.0});
+  a.lambda_lower = kMinLambdaLower;
+  b.lambda_lower = kMinLambdaLower;
+  const Relationship2 rel = fit_relationship2({a, b});
+  EXPECT_DOUBLE_EQ(rel.lambda_lower_vs_max_tput.exponent, 0.0);
+  EXPECT_DOUBLE_EQ(rel.lambda_lower_vs_max_tput.coeff, kMinLambdaLower);
+  // Derived servers keep a sane (floor) rate instead of a skewed one.
+  EXPECT_DOUBLE_EQ(rel.predict_for(86.0, 0.14).lambda_lower, kMinLambdaLower);
+}
+
 TEST(FitGradient, ThroughOriginLeastSquares) {
   const std::vector<double> n{100.0, 200.0, 400.0};
   const std::vector<double> x{14.0, 28.0, 56.0};

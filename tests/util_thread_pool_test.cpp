@@ -57,5 +57,40 @@ TEST(ThreadPool, SizeReflectsWorkerCount) {
   EXPECT_EQ(pool.size(), 3u);
 }
 
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Regression: a parallel_for body calling parallel_for on the same pool
+  // used to block on futures no worker was free to run.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, SubmittedTaskCanRunParallelFor) {
+  ThreadPool pool(2);
+  auto f = pool.submit([&pool] {
+    std::atomic<long> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+    return sum.load();
+  });
+  EXPECT_EQ(f.get(), 100L * 99L / 2);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(3,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(5, [](std::size_t i) {
+                                     if (i == 3)
+                                       throw std::runtime_error("inner");
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace epp::util

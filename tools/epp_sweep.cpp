@@ -1,0 +1,243 @@
+// epp_sweep — batch prediction sweeps from the command line.
+//
+// Calibrates the three prediction methods from the simulated testbed once,
+// then drives the svc::BatchPredictor over the full client-load x buy-mix
+// x method x server grid: the exact question stream a resource manager
+// issues when comparing candidate architectures (paper sections 8.2/8.5).
+// Repeated passes show the memoization cache at work — pass 1 computes,
+// later passes answer from the sharded LRU.
+//
+// Usage:
+//   epp_sweep [--loads lo:hi:step] [--buys p1,p2,...]
+//             [--methods historical,lqn,hybrid] [--servers n1,n2,...]
+//             [--threads N] [--passes N] [--csv]
+#include <cstddef>
+#include <exception>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/historical_predictor.hpp"
+#include "core/hybrid_predictor.hpp"
+#include "core/lqn_predictor.hpp"
+#include "hydra/relationships.hpp"
+#include "sim/trade/testbed.hpp"
+#include "svc/batch_predictor.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace epp;
+
+struct SweepConfig {
+  std::vector<double> loads;
+  std::vector<double> buy_pcts{0.0, 25.0};
+  std::vector<svc::Method> methods{svc::Method::kHistorical, svc::Method::kLqn,
+                                   svc::Method::kHybrid};
+  std::vector<std::string> servers{"AppServS", "AppServF", "AppServVF"};
+  std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  std::size_t passes = 2;
+  bool csv = false;
+};
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, sep))
+    if (!part.empty()) parts.push_back(part);
+  return parts;
+}
+
+std::vector<double> parse_range(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  if (parts.size() != 3)
+    throw std::invalid_argument("--loads wants lo:hi:step, got '" + spec + "'");
+  const double lo = std::stod(parts[0]);
+  const double hi = std::stod(parts[1]);
+  const double step = std::stod(parts[2]);
+  if (step <= 0.0 || hi < lo)
+    throw std::invalid_argument("--loads wants lo<=hi and step>0");
+  std::vector<double> loads;
+  for (double v = lo; v <= hi + 1e-9; v += step) loads.push_back(v);
+  return loads;
+}
+
+std::vector<double> parse_doubles(const std::string& spec) {
+  std::vector<double> values;
+  for (const std::string& part : split(spec, ',')) values.push_back(std::stod(part));
+  if (values.empty()) throw std::invalid_argument("empty list: '" + spec + "'");
+  return values;
+}
+
+int usage(std::ostream& out) {
+  out << "usage: epp_sweep [--loads lo:hi:step] [--buys p1,p2,...]\n"
+         "                 [--methods historical,lqn,hybrid]\n"
+         "                 [--servers AppServS,AppServF,AppServVF]\n"
+         "                 [--threads N] [--passes N] [--csv]\n\n"
+         "Calibrates all three predictors from the simulated testbed, then\n"
+         "batch-evaluates the client-load x buy-mix grid for every method\n"
+         "and server through the concurrent memoizing prediction engine.\n";
+  return 1;
+}
+
+SweepConfig parse_args(int argc, char** argv) {
+  SweepConfig config;
+  config.loads = parse_range("200:1400:100");
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc)
+        throw std::invalid_argument(std::string(arg) + " wants a value");
+      return argv[++i];
+    };
+    if (arg == "--loads") {
+      config.loads = parse_range(value());
+    } else if (arg == "--buys") {
+      config.buy_pcts = parse_doubles(value());
+    } else if (arg == "--methods") {
+      config.methods.clear();
+      for (const std::string& name : split(value(), ','))
+        config.methods.push_back(svc::method_from_name(name));
+      if (config.methods.empty())
+        throw std::invalid_argument("--methods wants at least one method");
+    } else if (arg == "--servers") {
+      config.servers = split(value(), ',');
+      if (config.servers.empty())
+        throw std::invalid_argument("--servers wants at least one server");
+    } else if (arg == "--threads") {
+      config.threads = std::stoul(value());
+      if (config.threads == 0)
+        throw std::invalid_argument("--threads wants at least 1");
+    } else if (arg == "--passes") {
+      config.passes = std::stoul(value());
+      if (config.passes == 0)
+        throw std::invalid_argument("--passes wants at least 1");
+    } else if (arg == "--csv") {
+      config.csv = true;
+    } else {
+      throw std::invalid_argument("unknown argument: " + std::string(arg));
+    }
+  }
+  return config;
+}
+
+core::WorkloadSpec mixed_load(double total_clients, double buy_pct) {
+  core::WorkloadSpec w;
+  w.buy_clients = total_clients * buy_pct / 100.0;
+  w.browse_clients = total_clients - w.buy_clients;
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const SweepConfig config = parse_args(argc, argv);
+  util::ThreadPool pool(config.threads);
+
+  // --- calibration (mirrors examples/capacity_planning) -------------------
+  std::cerr << "calibrating from the simulated testbed...\n";
+  const util::Timer calibration_timer;
+  const double max_s = sim::trade::measure_max_throughput(sim::trade::app_serv_s());
+  const double max_f = sim::trade::measure_max_throughput(sim::trade::app_serv_f());
+  const double max_vf = sim::trade::measure_max_throughput(sim::trade::app_serv_vf());
+
+  const core::TradeCalibration calibration =
+      core::calibrate_lqn_from_testbed(7, &pool);
+  core::LqnPredictor lqn(calibration);
+  core::HybridPredictor hybrid(calibration);
+  for (const auto& arch : {core::arch_s(), core::arch_f(), core::arch_vf()}) {
+    lqn.register_server(arch);
+    hybrid.register_server(arch);
+  }
+
+  const auto grad = core::measure_sweep(sim::trade::app_serv_f(), {300.0, 600.0},
+                                        {}, &pool);
+  const double m =
+      hydra::fit_gradient({grad[0].clients, grad[1].clients},
+                          {grad[0].throughput_rps, grad[1].throughput_rps});
+  core::HistoricalPredictor historical(m);
+  for (const auto& [name, spec, max] :
+       {std::tuple{"AppServF", sim::trade::app_serv_f(), max_f},
+        std::tuple{"AppServVF", sim::trade::app_serv_vf(), max_vf}}) {
+    const double knee = max / m;
+    historical.calibrate_established(
+        name,
+        core::to_data_points(
+            core::measure_sweep(spec, {0.25 * knee, 0.6 * knee}, {}, &pool)),
+        core::to_data_points(
+            core::measure_sweep(spec, {1.25 * knee, 1.7 * knee}, {}, &pool)),
+        max);
+  }
+  historical.register_new_server("AppServS", max_s);
+  // Relationship 3, so the historical method can answer buy-mix cells.
+  const double max_f_25 =
+      sim::trade::measure_max_throughput(sim::trade::app_serv_f(), 0.25, 11);
+  historical.calibrate_mix({0.0, 25.0}, {max_f, max_f_25});
+  std::cerr << "calibrated in " << util::fmt(calibration_timer.elapsed_ms(), 0)
+            << " ms\n";
+
+  // --- the grid ------------------------------------------------------------
+  std::vector<svc::PredictionRequest> grid;
+  for (const std::string& server : config.servers)
+    for (const double buy_pct : config.buy_pcts)
+      for (const double clients : config.loads)
+        for (const svc::Method method : config.methods)
+          grid.push_back({method, server, mixed_load(clients, buy_pct)});
+
+  svc::BatchPredictor engine(&historical, &lqn, &hybrid);
+  std::vector<svc::PredictionResult> results;
+  for (std::size_t pass = 1; pass <= config.passes; ++pass) {
+    const util::Timer timer;
+    results = engine.predict_batch(grid, &pool);
+    std::cerr << "pass " << pass << "/" << config.passes << ": " << grid.size()
+              << " predictions in " << util::fmt(timer.elapsed_ms(), 2)
+              << " ms on " << config.threads << " thread(s)\n";
+  }
+
+  // --- output --------------------------------------------------------------
+  const std::size_t methods = config.methods.size();
+  if (config.csv) {
+    std::cout << "server,buy_pct,clients,method,mean_rt_ms,throughput_rps\n";
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      std::cout << grid[i].server << ','
+                << util::fmt(100.0 * grid[i].workload.buy_fraction(), 1) << ','
+                << util::fmt(grid[i].workload.total_clients(), 0) << ','
+                << svc::method_name(grid[i].method) << ','
+                << util::fmt(results[i].mean_rt_s * 1e3, 3) << ','
+                << util::fmt(results[i].throughput_rps, 3) << '\n';
+  } else {
+    std::vector<std::string> headers{"server", "buy_pct", "clients"};
+    for (const svc::Method method : config.methods)
+      headers.push_back(std::string(svc::method_name(method)) + "_rt_ms");
+    util::Table table(headers);
+    std::size_t cursor = 0;
+    for (const std::string& server : config.servers)
+      for (const double buy_pct : config.buy_pcts)
+        for (const double clients : config.loads) {
+          std::vector<std::string> row{server, util::fmt(buy_pct, 0),
+                                       util::fmt(clients, 0)};
+          for (std::size_t mi = 0; mi < methods; ++mi)
+            row.push_back(util::fmt(results[cursor + mi].mean_rt_s * 1e3, 2));
+          cursor += methods;
+          table.add_row(row);
+        }
+    table.print(std::cout);
+  }
+
+  const svc::CacheStats stats = engine.cache_stats();
+  std::cerr << "cache: " << stats.hits << " hits, " << stats.misses
+            << " misses, " << stats.evictions << " evictions ("
+            << util::fmt(100.0 * stats.hit_ratio(), 1) << "% hit ratio, "
+            << stats.entries << " entries)\n";
+  return 0;
+} catch (const std::exception& error) {
+  std::cerr << "epp_sweep: " << error.what() << "\n\n";
+  return usage(std::cerr);
+}
