@@ -1,76 +1,26 @@
 #include "common.hpp"
 
-#include <stdexcept>
-
-#include "hydra/relationships.hpp"
+#include "calib/predictor_set.hpp"
 
 namespace epp::bench {
 
-sim::trade::ServerSpec spec_for(const std::string& server) {
-  if (server == "AppServS") return sim::trade::app_serv_s();
-  if (server == "AppServF") return sim::trade::app_serv_f();
-  if (server == "AppServVF") return sim::trade::app_serv_vf();
-  throw std::invalid_argument("unknown server '" + server + "'");
-}
-
-const std::vector<std::string>& server_names() {
-  static const std::vector<std::string> kNames{"AppServF", "AppServVF",
-                                               "AppServS"};
-  return kNames;
-}
-
 Setup::Setup(bool measure_mix) {
-  // --- support service 2: benchmark request processing speeds -----------
-  max_s = sim::trade::measure_max_throughput(sim::trade::app_serv_s());
-  max_f = sim::trade::measure_max_throughput(sim::trade::app_serv_f());
-  max_vf = sim::trade::measure_max_throughput(sim::trade::app_serv_vf());
-  if (measure_mix)
-    max_f_buy25 =
-        sim::trade::measure_max_throughput(sim::trade::app_serv_f(), 0.25, 11);
+  calib::CalibrationOptions options;
+  options.measure_mix = measure_mix;
+  options.pool = &pool;
+  bundle = calib::calibrate(options);
 
-  // --- layered queuing calibration on the established AppServF ----------
-  calibration = core::calibrate_lqn_from_testbed(7, &pool);
-  lqn = std::make_unique<core::LqnPredictor>(calibration);
-  for (const auto& arch : {core::arch_s(), core::arch_f(), core::arch_vf()})
-    lqn->register_server(arch);
+  calib::PredictorSet set = calib::make_predictors(bundle);
+  historical = std::move(set.historical);
+  lqn = std::move(set.lqn);
+  hybrid = std::move(set.hybrid);
 
-  // --- historical calibration: gradient m + 2 lower/2 upper points ------
-  const auto grad_points = core::measure_sweep(sim::trade::app_serv_f(),
-                                               {300.0, 600.0}, {}, &pool);
-  gradient_m = hydra::fit_gradient(
-      {grad_points[0].clients, grad_points[1].clients},
-      {grad_points[0].throughput_rps, grad_points[1].throughput_rps});
-  historical = std::make_unique<core::HistoricalPredictor>(gradient_m);
-  for (const auto& [name, max] :
-       {std::pair<std::string, double>{"AppServF", max_f},
-        std::pair<std::string, double>{"AppServVF", max_vf}}) {
-    const double knee = max / gradient_m;
-    const auto lower = core::measure_sweep(
-        spec_for(name), {0.25 * knee, 0.60 * knee}, {}, &pool);
-    const auto upper = core::measure_sweep(
-        spec_for(name), {1.25 * knee, 1.70 * knee}, {}, &pool);
-    historical->calibrate_established(name, core::to_data_points(lower),
-                                      core::to_data_points(upper), max);
-    // Section 7.1: the same data points carry p90 samples, so the direct
-    // percentile model calibrates for free.
-    historical->calibrate_established_p90(name, core::to_p90_data_points(lower),
-                                          core::to_p90_data_points(upper), max);
-  }
-  historical->register_new_server("AppServS", max_s);
-  historical->register_new_server_p90("AppServS", max_s);
-  if (measure_mix) historical->calibrate_mix({0.0, 25.0}, {max_f, max_f_buy25});
-
-  // --- advanced hybrid: LQN-generated pseudo data per architecture ------
-  hybrid = std::make_unique<core::HybridPredictor>(calibration);
-  for (const auto& arch : {core::arch_s(), core::arch_f(), core::arch_vf()})
-    hybrid->register_server(arch);
-}
-
-double Setup::max_tput(const std::string& server) const {
-  if (server == "AppServS") return max_s;
-  if (server == "AppServF") return max_f;
-  if (server == "AppServVF") return max_vf;
-  throw std::invalid_argument("unknown server '" + server + "'");
+  max_s = bundle.max_throughput("AppServS");
+  max_f = bundle.max_throughput("AppServF");
+  max_vf = bundle.max_throughput("AppServVF");
+  if (measure_mix) max_f_buy25 = bundle.mix_points.back().max_throughput_rps;
+  gradient_m = bundle.gradient_m;
+  calibration = bundle.lqn;
 }
 
 std::vector<core::MeasuredPoint> Setup::validation_sweep(
@@ -81,8 +31,8 @@ std::vector<core::MeasuredPoint> Setup::validation_sweep(
   for (double f : fractions) clients.push_back(f * n_star(server));
   core::SweepOptions options;
   options.buy_client_fraction = buy_client_fraction;
-  options.seed = 0xC0FFEE;
-  return core::measure_sweep(spec_for(server), clients, options, &pool);
+  options.seed = calib::kValidationSeed;
+  return core::measure_sweep(calib::spec_for(server), clients, options, &pool);
 }
 
 }  // namespace epp::bench

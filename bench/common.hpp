@@ -1,18 +1,21 @@
-// Shared experiment setup for the bench binaries: calibrates all three
-// prediction methods from the simulated testbed exactly as the paper
-// calibrates them from its WebSphere deployment (sections 3-6), so every
-// table/figure binary starts from the same reproducible state.
+// Shared experiment setup for the bench binaries: a thin adapter over the
+// calib library's unified calibration pipeline. Every table/figure binary
+// starts from the same CalibrationBundle and predictor set, calibrated
+// from the simulated testbed exactly as the paper calibrates from its
+// WebSphere deployment (sections 3-6).
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "calib/bundle.hpp"
+#include "calib/catalog.hpp"
+#include "calib/seeds.hpp"
 #include "core/evaluation.hpp"
 #include "core/historical_predictor.hpp"
 #include "core/hybrid_predictor.hpp"
 #include "core/lqn_predictor.hpp"
-#include "sim/trade/testbed.hpp"
 #include "util/thread_pool.hpp"
 
 namespace epp::bench {
@@ -20,10 +23,13 @@ namespace epp::bench {
 struct Setup {
   util::ThreadPool pool;
 
+  /// The full calibration artifact (catalog, fits, table-2 parameters).
+  calib::CalibrationBundle bundle;
+
   // Benchmarked max throughputs (requests/second, typical workload).
   double max_s = 0.0, max_f = 0.0, max_vf = 0.0;
-  // Mixed-workload max throughputs on the established AppServF (for
-  // relationship 3): measured at 0% and 25% buy clients.
+  // Mixed-workload max throughput on the established AppServF (for
+  // relationship 3): measured at 25% buy clients. 0 unless measure_mix.
   double max_f_buy25 = 0.0;
   // The shared clients->throughput gradient (the paper's m = 0.14).
   double gradient_m = 0.0;
@@ -36,22 +42,28 @@ struct Setup {
   /// Full calibration; with measure_mix also runs the 25%-buy benchmark.
   explicit Setup(bool measure_mix = false);
 
-  double max_tput(const std::string& server) const;
+  double max_tput(const std::string& server) const {
+    return bundle.max_throughput(server);
+  }
   double n_star(const std::string& server) const {
     return max_tput(server) / gradient_m;
   }
 
   /// Measured validation sweep at fractions of the max-throughput load
-  /// (distinct seed from every calibration run).
+  /// (calib::kValidationSeed — distinct from every calibration seed).
   std::vector<core::MeasuredPoint> validation_sweep(
       const std::string& server, const std::vector<double>& fractions,
       double buy_client_fraction = 0.0);
 };
 
-/// Simulator server spec by model name.
-sim::trade::ServerSpec spec_for(const std::string& server);
+/// Simulator server spec by model name (forwards to the calib catalog).
+inline sim::trade::ServerSpec spec_for(const std::string& server) {
+  return calib::spec_for(server);
+}
 
 /// All three case-study architectures, established first.
-const std::vector<std::string>& server_names();
+inline const std::vector<std::string>& server_names() {
+  return calib::server_names();
+}
 
 }  // namespace epp::bench

@@ -11,10 +11,14 @@
 // Plus the engine the latency numbers motivate: the svc::BatchPredictor
 // evaluates whole sweeps concurrently on the thread pool and memoizes
 // results, so repeated capacity sweeps are answered from cache.
+#include <cstdio>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "calib/bundle.hpp"
+#include "calib/predictor_set.hpp"
 #include "common.hpp"
 #include "svc/batch_predictor.hpp"
 #include "util/table.hpp"
@@ -42,9 +46,33 @@ int main() {
   std::cout << "== Sections 8.4/8.5: prediction latency and start-up "
                "costs ==\n\n";
 
+  const util::Timer cold_startup_timer;
   bench::Setup setup;
+  const double cold_startup_ms = cold_startup_timer.elapsed_us() / 1e3;
   core::WorkloadSpec base;
   base.browse_clients = 900.0;
+
+  // Section 8.4's cost asymmetry, end to end: cold start runs the full
+  // calibration pipeline against the simulated testbed; warm start replays
+  // a persisted bundle artifact and rebuilds the same predictors.
+  const std::string bundle_path = "prediction_latency.tmp.epp";
+  calib::save_bundle(bundle_path, setup.bundle);
+  const util::Timer warm_startup_timer;
+  const calib::CalibrationBundle warm_bundle = calib::load_bundle(bundle_path);
+  const calib::PredictorSet warm_set = calib::make_predictors(warm_bundle);
+  const double warm_startup_ms = warm_startup_timer.elapsed_us() / 1e3;
+  (void)warm_set;
+  std::remove(bundle_path.c_str());
+
+  std::cout << "-- start-up: cold calibration vs warm bundle load --\n";
+  util::Table startup({"path", "wall_ms", "what runs"});
+  startup.add_row({"cold", util::fmt(cold_startup_ms, 1),
+                   "simulator benchmarks + sweeps + model fits"});
+  startup.add_row({"warm", util::fmt(warm_startup_ms, 2),
+                   "parse .epp artifact + rebuild predictors"});
+  startup.print(std::cout);
+  std::cout << "warm-start speedup: "
+            << util::fmt(cold_startup_ms / warm_startup_ms, 0) << "x\n\n";
 
   // Fresh hybrid so the start-up delay is observable here.
   core::HybridPredictor fresh_hybrid(setup.calibration);

@@ -1,22 +1,23 @@
 // Capacity planning: "which server architecture should host this SLA?"
 //
-// Calibrates all three prediction methods from the simulated testbed,
-// then batch-evaluates the full (architecture x method x client-load)
-// response-time grid concurrently through the svc::BatchPredictor — the
+// Acquires the calibration bundle through the unified calib pipeline —
+// calibrated from the simulated testbed on a cold start, or loaded from a
+// persisted `.epp` artifact with --bundle (zero simulator work) — then
+// batch-evaluates the full (architecture x method x client-load)
+// response-time grid concurrently through the svc::BatchPredictor: the
 // paper's section 8.2 resource-management question asked the way a
 // planner actually asks it, thousands of predictions per decision. SLA
 // capacities for each goal are read off the predicted curves, and the
 // second goal reuses the same grid, so it is answered entirely from the
 // engine's memoization cache (section 8.5's latency point).
+//
+// Usage: capacity_planning [--bundle FILE] [--save-bundle FILE]
+#include <exception>
 #include <iostream>
 #include <vector>
 
-#include "core/evaluation.hpp"
-#include "core/historical_predictor.hpp"
-#include "core/hybrid_predictor.hpp"
-#include "core/lqn_predictor.hpp"
-#include "hydra/relationships.hpp"
-#include "sim/trade/testbed.hpp"
+#include "calib/bundle.hpp"
+#include "calib/predictor_set.hpp"
 #include "svc/batch_predictor.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -45,66 +46,36 @@ double capacity_from_curve(const std::vector<double>& clients,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace epp;
+  const calib::ArtifactCli artifact = calib::parse_artifact_flags(argc, argv);
   std::cout << "EPP capacity planner: max clients per architecture under an "
                "SLA goal\n\n";
   util::ThreadPool pool;
 
-  // Benchmark the three candidate architectures' max throughputs (the
-  // "application-specific benchmark on new server architectures").
-  const double max_s = sim::trade::measure_max_throughput(sim::trade::app_serv_s());
-  const double max_f = sim::trade::measure_max_throughput(sim::trade::app_serv_f());
-  const double max_vf = sim::trade::measure_max_throughput(sim::trade::app_serv_vf());
+  // Calibrate once (or warm-start from a persisted artifact); every fitted
+  // parameter the three methods need lives in the bundle.
+  calib::CalibrationOptions options;
+  options.pool = &pool;
+  const util::Timer setup_timer;
+  const calib::CalibrationBundle bundle =
+      calib::acquire_bundle(artifact, options);
+  const calib::PredictorSet set = calib::make_predictors(bundle);
+  std::cout << (artifact.load_path.empty() ? "calibrated from the testbed in "
+                                           : "loaded bundle in ")
+            << util::fmt(setup_timer.elapsed_ms(), 1) << " ms\n\n";
 
-  // Layered queuing calibration on the established AppServF.
-  const core::TradeCalibration calibration =
-      core::calibrate_lqn_from_testbed(7, &pool);
-  core::LqnPredictor lqn(calibration);
-  core::HybridPredictor hybrid(calibration);
-  for (const auto& arch : {core::arch_s(), core::arch_f(), core::arch_vf()}) {
-    lqn.register_server(arch);
-    hybrid.register_server(arch);
-  }
-
-  // Historical calibration on the two established boxes, S via rel. 2.
-  const auto grad = core::measure_sweep(sim::trade::app_serv_f(), {300.0, 600.0},
-                                        {}, &pool);
-  const double m =
-      hydra::fit_gradient({grad[0].clients, grad[1].clients},
-                          {grad[0].throughput_rps, grad[1].throughput_rps});
-  core::HistoricalPredictor historical(m);
-  for (const auto& [name, spec, max] :
-       {std::tuple{"AppServF", sim::trade::app_serv_f(), max_f},
-        std::tuple{"AppServVF", sim::trade::app_serv_vf(), max_vf}}) {
-    const double knee = max / m;
-    const auto lower =
-        core::measure_sweep(spec, {0.25 * knee, 0.6 * knee}, {}, &pool);
-    const auto upper =
-        core::measure_sweep(spec, {1.25 * knee, 1.7 * knee}, {}, &pool);
-    historical.calibrate_established(name, core::to_data_points(lower),
-                                     core::to_data_points(upper), max);
-  }
-  historical.register_new_server("AppServS", max_s);
-
-  // One engine over the three calibrated methods; every sweep below goes
-  // through its thread-pool fan-out and memoization cache.
-  svc::BatchPredictor batch(&historical, &lqn, &hybrid);
+  const double m = bundle.gradient_m;
   const svc::Method methods[] = {svc::Method::kHistorical, svc::Method::kLqn,
                                  svc::Method::kHybrid};
-  const struct {
-    const char* name;
-    double max_tput;
-  } servers[] = {{"AppServS", max_s}, {"AppServF", max_f},
-                 {"AppServVF", max_vf}};
 
   for (const double goal_ms : {300.0, 600.0}) {
     // The full grid for this goal: per architecture, 48 loads spanning
     // 10%-240% of the max-throughput load, for all three methods.
     std::vector<svc::PredictionRequest> grid;
     std::vector<std::vector<double>> loads;
-    for (const auto& server : servers) {
-      const double knee = server.max_tput / m;
+    for (const calib::ServerRecord& server : bundle.servers) {
+      const double knee = server.max_throughput_rps / m;
       std::vector<double> points;
       for (double f = 0.10; f <= 2.40; f += 0.05)
         points.push_back(f * knee);
@@ -117,7 +88,7 @@ int main() {
       loads.push_back(std::move(points));
     }
     const util::Timer timer;
-    const auto predicted = batch.predict_batch(grid, &pool);
+    const auto predicted = set.batch->predict_batch(grid, &pool);
     const double wall_ms = timer.elapsed_us() / 1e3;
 
     std::cout << "-- SLA goal: mean response time <= " << goal_ms
@@ -125,8 +96,8 @@ int main() {
               << util::fmt(wall_ms, 1) << " ms) --\n";
     util::Table table({"architecture", "historical", "lqn", "hybrid"});
     std::size_t cursor = 0;
-    for (std::size_t s = 0; s < std::size(servers); ++s) {
-      std::vector<std::string> row{servers[s].name};
+    for (std::size_t s = 0; s < bundle.servers.size(); ++s) {
+      std::vector<std::string> row{bundle.servers[s].name};
       for (std::size_t mi = 0; mi < std::size(methods); ++mi) {
         std::vector<double> rt;
         for (std::size_t i = 0; i < loads[s].size(); ++i)
@@ -141,10 +112,15 @@ int main() {
     std::cout << '\n';
   }
 
-  const svc::CacheStats stats = batch.cache_stats();
+  const svc::CacheStats stats = set.batch->cache_stats();
   std::cout << "cache: " << stats.hits << " hits / " << stats.misses
             << " misses (" << util::fmt(100.0 * stats.hit_ratio(), 1)
             << "% hit ratio) — the 600 ms sweep reused the 300 ms sweep's "
                "grid, so it cost no model evaluations at all.\n";
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "capacity_planning: " << error.what()
+            << "\nusage: capacity_planning [--bundle FILE] "
+               "[--save-bundle FILE]\n";
+  return 1;
 }

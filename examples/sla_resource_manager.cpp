@@ -1,61 +1,42 @@
 // SLA-driven resource management: run Algorithm 1 over the paper's
 // 16-server pool, inspect the allocation it produces, and tune the slack
 // knob — an end-to-end tour of epp::rm on top of the prediction stack.
+// The planning model (hybrid) and the ground-truth stand-in (historical)
+// both come from one calibration bundle, cold-calibrated or warm-loaded.
+//
+// Usage: sla_resource_manager [--bundle FILE] [--save-bundle FILE]
+#include <exception>
 #include <iostream>
 
-#include "core/evaluation.hpp"
-#include "core/historical_predictor.hpp"
-#include "core/hybrid_predictor.hpp"
-#include "hydra/relationships.hpp"
+#include "calib/bundle.hpp"
+#include "calib/predictor_set.hpp"
 #include "rm/manager.hpp"
 #include "rm/runtime.hpp"
 #include "rm/tuning.hpp"
-#include "sim/trade/testbed.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace epp;
+  const calib::ArtifactCli artifact = calib::parse_artifact_flags(argc, argv);
   std::cout << "EPP resource manager demo: 16 servers, 3 SLA classes\n\n";
   util::ThreadPool pool;
 
-  // Calibrate the planning model (hybrid) and the ground truth stand-in
-  // (historical calibrated from measurements), as in the paper's section 9.
-  const double max_s = sim::trade::measure_max_throughput(sim::trade::app_serv_s());
-  const double max_f = sim::trade::measure_max_throughput(sim::trade::app_serv_f());
-  const double max_vf = sim::trade::measure_max_throughput(sim::trade::app_serv_vf());
-  const core::TradeCalibration calibration = core::calibrate_lqn_from_testbed(7, &pool);
-
-  core::HybridPredictor planner(calibration);
-  for (const auto& arch : {core::arch_s(), core::arch_f(), core::arch_vf()})
-    planner.register_server(arch);
-
-  const auto grad = core::measure_sweep(sim::trade::app_serv_f(), {300.0, 600.0},
-                                        {}, &pool);
-  const double m =
-      hydra::fit_gradient({grad[0].clients, grad[1].clients},
-                          {grad[0].throughput_rps, grad[1].throughput_rps});
-  core::HistoricalPredictor truth(m);
-  for (const auto& [name, spec, max] :
-       {std::tuple{"AppServF", sim::trade::app_serv_f(), max_f},
-        std::tuple{"AppServVF", sim::trade::app_serv_vf(), max_vf}}) {
-    const double knee = max / m;
-    truth.calibrate_established(
-        name,
-        core::to_data_points(
-            core::measure_sweep(spec, {0.25 * knee, 0.6 * knee}, {}, &pool)),
-        core::to_data_points(
-            core::measure_sweep(spec, {1.25 * knee, 1.7 * knee}, {}, &pool)),
-        max);
-  }
-  truth.register_new_server("AppServS", max_s);
-  // Servers hosting buy clients need the mix relationship (relationship 3).
-  const double max_f_25 =
-      sim::trade::measure_max_throughput(sim::trade::app_serv_f(), 0.25, 11);
-  truth.calibrate_mix({0.0, 25.0}, {max_f, max_f_25});
+  // One bundle feeds both sides of the paper's section-9 study: the hybrid
+  // planner and the measurement-calibrated historical "truth".
+  calib::CalibrationOptions options;
+  options.pool = &pool;
+  const calib::CalibrationBundle bundle =
+      calib::acquire_bundle(artifact, options);
+  const calib::PredictorSet set = calib::make_predictors(bundle);
+  core::HybridPredictor& planner = *set.hybrid;
+  core::HistoricalPredictor& truth = *set.historical;
 
   // One allocation in detail.
-  const auto pool_servers = rm::standard_pool(max_s, max_f, max_vf);
+  const auto pool_servers =
+      rm::standard_pool(bundle.max_throughput("AppServS"),
+                        bundle.max_throughput("AppServF"),
+                        bundle.max_throughput("AppServVF"));
   const auto classes = rm::standard_classes(9000.0);
   const rm::ResourceManager manager(planner, {1.1, 7.0, 1.0});
   const rm::Allocation allocation = manager.allocate(classes, pool_servers);
@@ -100,4 +81,9 @@ int main() {
   }
   tune.print(std::cout);
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "sla_resource_manager: " << error.what()
+            << "\nusage: sla_resource_manager [--bundle FILE] "
+               "[--save-bundle FILE]\n";
+  return 1;
 }

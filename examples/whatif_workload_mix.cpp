@@ -2,56 +2,41 @@
 // a server's capacity and response times? Sweeps the buy percentage and
 // compares relationship-3 extrapolation against direct LQN solves —
 // useful when deciding how much headroom a promotion campaign needs.
+//
+// Usage: whatif_workload_mix [--bundle FILE] [--save-bundle FILE]
+#include <exception>
 #include <iostream>
+#include <stdexcept>
 
-#include "core/evaluation.hpp"
-#include "core/historical_predictor.hpp"
-#include "core/lqn_predictor.hpp"
-#include "hydra/relationships.hpp"
-#include "sim/trade/testbed.hpp"
+#include "calib/bundle.hpp"
+#include "calib/predictor_set.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace epp;
+  const calib::ArtifactCli artifact = calib::parse_artifact_flags(argc, argv);
   std::cout << "EPP what-if: workload mix vs capacity on the new AppServS\n\n";
   util::ThreadPool pool;
 
-  const double max_s = sim::trade::measure_max_throughput(sim::trade::app_serv_s());
-  const double max_f = sim::trade::measure_max_throughput(sim::trade::app_serv_f());
-  const double max_vf = sim::trade::measure_max_throughput(sim::trade::app_serv_vf());
-  const double max_f_25 =
-      sim::trade::measure_max_throughput(sim::trade::app_serv_f(), 0.25, 11);
-  const core::TradeCalibration calibration = core::calibrate_lqn_from_testbed(7, &pool);
-
-  core::LqnPredictor lqn(calibration);
-  for (const auto& arch : {core::arch_s(), core::arch_f(), core::arch_vf()})
-    lqn.register_server(arch);
-
-  const auto grad = core::measure_sweep(sim::trade::app_serv_f(), {300.0, 600.0},
-                                        {}, &pool);
-  const double m =
-      hydra::fit_gradient({grad[0].clients, grad[1].clients},
-                          {grad[0].throughput_rps, grad[1].throughput_rps});
-  core::HistoricalPredictor historical(m);
-  for (const auto& [name, spec, max] :
-       {std::tuple{"AppServF", sim::trade::app_serv_f(), max_f},
-        std::tuple{"AppServVF", sim::trade::app_serv_vf(), max_vf}}) {
-    const double knee = max / m;
-    historical.calibrate_established(
-        name,
-        core::to_data_points(
-            core::measure_sweep(spec, {0.25 * knee, 0.6 * knee}, {}, &pool)),
-        core::to_data_points(
-            core::measure_sweep(spec, {1.25 * knee, 1.7 * knee}, {}, &pool)),
-        max);
-  }
-  historical.register_new_server("AppServS", max_s);
-  historical.calibrate_mix({0.0, 25.0}, {max_f, max_f_25});
+  calib::CalibrationOptions options;
+  options.pool = &pool;
+  const calib::CalibrationBundle bundle =
+      calib::acquire_bundle(artifact, options);
+  if (!bundle.has_mix())
+    throw std::runtime_error(
+        "bundle lacks the workload-mix calibration (recreate it without "
+        "--no-mix)");
+  const calib::PredictorSet set = calib::make_predictors(bundle);
+  const core::HistoricalPredictor& historical = *set.historical;
+  const core::LqnPredictor& lqn = *set.lqn;
 
   std::cout << "relationship 3 calibrated from AppServF: "
-            << util::fmt(max_f, 1) << " req/s at 0% buy, "
-            << util::fmt(max_f_25, 1) << " at 25%\n\n";
+            << util::fmt(bundle.mix_points.front().max_throughput_rps, 1)
+            << " req/s at 0% buy, "
+            << util::fmt(bundle.mix_points.back().max_throughput_rps, 1)
+            << " at " << util::fmt(bundle.mix_points.back().buy_pct, 0)
+            << "%\n\n";
 
   util::Table table({"buy_pct", "hist_max_tput_rps", "lqn_max_tput_rps",
                      "hist_capacity_at_600ms", "lqn_capacity_at_600ms"});
@@ -69,4 +54,9 @@ int main() {
                "users costs a few percent of capacity (buy requests are "
                "~1.9x as expensive).\n";
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "whatif_workload_mix: " << error.what()
+            << "\nusage: whatif_workload_mix [--bundle FILE] "
+               "[--save-bundle FILE]\n";
+  return 1;
 }

@@ -1,0 +1,310 @@
+#include "calib/bundle.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/evaluation.hpp"
+#include "core/historical_predictor.hpp"
+#include "hydra/relationships.hpp"
+#include "hydra/serialize.hpp"
+
+namespace epp::calib {
+
+namespace {
+
+/// The established reference server every support service measures on
+/// (the paper's AppServF): first established catalog entry.
+const ServerRecord& reference_server(const std::vector<ServerRecord>& servers) {
+  for (const ServerRecord& record : servers)
+    if (record.established) return record;
+  throw std::logic_error("calibration catalog has no established server");
+}
+
+}  // namespace
+
+const ServerRecord& CalibrationBundle::server(const std::string& name) const {
+  for (const ServerRecord& record : servers)
+    if (record.name == name) return record;
+  throw std::invalid_argument("bundle has no server '" + name + "'");
+}
+
+double CalibrationBundle::max_throughput(const std::string& name) const {
+  return server(name).max_throughput_rps;
+}
+
+CalibrationBundle calibrate(const CalibrationOptions& options) {
+  CalibrationBundle bundle;
+  bundle.lqn_seed = options.lqn_seed;
+  bundle.mix_seed = options.mix_seed;
+  bundle.sweep_seed = options.sweep_seed;
+  bundle.servers = trade_catalog();
+
+  // --- support service 2: benchmark request processing speeds -----------
+  // One independent saturation run per server, fanned out on the pool.
+  auto benchmark_one = [&](std::size_t i) {
+    ServerRecord& record = bundle.servers[i];
+    record.max_throughput_rps = sim::trade::measure_max_throughput(
+        record.sim, 0.0, options.sweep_seed);
+  };
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(bundle.servers.size(), benchmark_one);
+  } else {
+    for (std::size_t i = 0; i < bundle.servers.size(); ++i) benchmark_one(i);
+  }
+
+  // --- support service 3: layered queuing calibration (table 2) ---------
+  bundle.lqn = core::calibrate_lqn_from_testbed(options.lqn_seed, options.pool);
+
+  // --- historical calibration: gradient m + 2 lower / 2 upper points ----
+  const ServerRecord& reference = reference_server(bundle.servers);
+  core::SweepOptions sweep;
+  sweep.seed = options.sweep_seed;
+  const auto grad_points = core::measure_sweep(reference.sim, {300.0, 600.0},
+                                               sweep, options.pool);
+  bundle.gradient_m = hydra::fit_gradient(
+      {grad_points[0].clients, grad_points[1].clients},
+      {grad_points[0].throughput_rps, grad_points[1].throughput_rps});
+
+  core::HistoricalPredictor historical(bundle.gradient_m);
+  for (const ServerRecord& record : bundle.servers) {
+    if (!record.established) continue;
+    const double knee = record.max_throughput_rps / bundle.gradient_m;
+    const auto lower = core::measure_sweep(
+        record.sim, {0.25 * knee, 0.60 * knee}, sweep, options.pool);
+    const auto upper = core::measure_sweep(
+        record.sim, {1.25 * knee, 1.70 * knee}, sweep, options.pool);
+    historical.calibrate_established(record.name, core::to_data_points(lower),
+                                     core::to_data_points(upper),
+                                     record.max_throughput_rps);
+    // Section 7.1: the same data points carry p90 samples, so the direct
+    // percentile model calibrates for free.
+    historical.calibrate_established_p90(
+        record.name, core::to_p90_data_points(lower),
+        core::to_p90_data_points(upper), record.max_throughput_rps);
+  }
+  for (const ServerRecord& record : bundle.servers) {
+    if (record.established) continue;
+    historical.register_new_server(record.name, record.max_throughput_rps);
+    historical.register_new_server_p90(record.name, record.max_throughput_rps);
+  }
+
+  // --- relationship 3: the mixed-workload benchmark ----------------------
+  if (options.measure_mix) {
+    const double mix_pct = 100.0 * options.mix_buy_fraction;
+    const double mix_max = sim::trade::measure_max_throughput(
+        reference.sim, options.mix_buy_fraction, options.mix_seed);
+    historical.calibrate_mix({0.0, mix_pct},
+                             {reference.max_throughput_rps, mix_max});
+    bundle.mix_points = {{0.0, reference.max_throughput_rps},
+                         {mix_pct, mix_max}};
+  }
+
+  bundle.mean_model = historical.model();
+  bundle.p90_model = historical.p90_model();
+  return bundle;
+}
+
+// --- serialisation ---------------------------------------------------------
+
+std::string to_text(const CalibrationBundle& bundle) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "epp-bundle v1\n";
+  os << "seeds " << bundle.lqn_seed << ' ' << bundle.mix_seed << ' '
+     << bundle.sweep_seed << '\n';
+  os << "gradient " << bundle.gradient_m << '\n';
+  auto write_params = [&](const char* type, const core::RequestTypeParams& p) {
+    os << "lqn-params " << type << ' ' << p.app_demand_s << ' '
+       << p.db_cpu_per_call_s << ' ' << p.disk_per_call_s << ' '
+       << p.mean_db_calls << '\n';
+  };
+  write_params("browse", bundle.lqn.browse);
+  write_params("buy", bundle.lqn.buy);
+  for (const ServerRecord& record : bundle.servers)
+    os << "server " << record.name << ' '
+       << (record.established ? "established" : "new") << ' '
+       << record.sim.speed << ' ' << record.sim.concurrency << ' '
+       << record.arch.speed << ' ' << record.arch.app_concurrency << ' '
+       << record.arch.db_concurrency << ' ' << record.max_throughput_rps
+       << '\n';
+  for (const MixPoint& point : bundle.mix_points)
+    os << "mix-point " << point.buy_pct << ' ' << point.max_throughput_rps
+       << '\n';
+  auto write_model = [&](const char* which, const hydra::HistoricalModel& m) {
+    const std::string text = hydra::to_text(m);
+    std::size_t lines = 0;
+    for (const char c : text)
+      if (c == '\n') ++lines;
+    os << "hydra-model " << which << ' ' << lines << '\n' << text;
+  };
+  write_model("mean", bundle.mean_model);
+  write_model("p90", bundle.p90_model);
+  return os.str();
+}
+
+CalibrationBundle bundle_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) -> void {
+    throw std::invalid_argument("epp bundle parse error, line " +
+                                std::to_string(line_no) + ": " + message);
+  };
+
+  if (!std::getline(is, line)) {
+    line_no = 1;
+    fail("empty input");
+  }
+  ++line_no;
+  if (line != "epp-bundle v1") fail("bad header '" + line + "'");
+
+  CalibrationBundle bundle;
+  bool have_gradient = false, have_browse = false, have_buy = false;
+  bool have_mean = false, have_p90 = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "seeds") {
+      if (!(ls >> bundle.lqn_seed >> bundle.mix_seed >> bundle.sweep_seed))
+        fail("bad seeds record");
+    } else if (kind == "gradient") {
+      if (!(ls >> bundle.gradient_m) || bundle.gradient_m <= 0.0)
+        fail("bad gradient");
+      have_gradient = true;
+    } else if (kind == "lqn-params") {
+      std::string type;
+      core::RequestTypeParams params;
+      if (!(ls >> type >> params.app_demand_s >> params.db_cpu_per_call_s >>
+            params.disk_per_call_s >> params.mean_db_calls))
+        fail("bad lqn-params record");
+      if (type == "browse") {
+        bundle.lqn.browse = params;
+        have_browse = true;
+      } else if (type == "buy") {
+        bundle.lqn.buy = params;
+        have_buy = true;
+      } else {
+        fail("unknown request type '" + type + "'");
+      }
+    } else if (kind == "server") {
+      ServerRecord record;
+      std::string provenance;
+      if (!(ls >> record.name >> provenance >> record.sim.speed >>
+            record.sim.concurrency >> record.arch.speed >>
+            record.arch.app_concurrency >> record.arch.db_concurrency >>
+            record.max_throughput_rps))
+        fail("bad server record");
+      if (provenance == "established") {
+        record.established = true;
+      } else if (provenance != "new") {
+        fail("bad server provenance '" + provenance + "'");
+      }
+      if (record.sim.speed <= 0.0 || record.arch.speed <= 0.0 ||
+          record.max_throughput_rps <= 0.0)
+        fail("non-positive server parameters");
+      record.sim.name = record.name;
+      record.sim.established = record.established;
+      record.arch.name = record.name;
+      bundle.servers.push_back(std::move(record));
+    } else if (kind == "mix-point") {
+      MixPoint point;
+      if (!(ls >> point.buy_pct >> point.max_throughput_rps))
+        fail("bad mix-point record");
+      bundle.mix_points.push_back(point);
+    } else if (kind == "hydra-model") {
+      std::string which;
+      std::size_t lines = 0;
+      if (!(ls >> which >> lines)) fail("bad hydra-model record");
+      if (which != "mean" && which != "p90")
+        fail("unknown hydra-model block '" + which + "'");
+      const int block_start = line_no;
+      std::string block;
+      for (std::size_t i = 0; i < lines; ++i) {
+        if (!std::getline(is, line)) {
+          line_no = block_start;
+          fail("truncated hydra-model block: expected " +
+               std::to_string(lines) + " lines, got " + std::to_string(i));
+        }
+        ++line_no;
+        block += line;
+        block += '\n';
+      }
+      try {
+        if (which == "mean") {
+          bundle.mean_model = hydra::model_from_text(block);
+          have_mean = true;
+        } else {
+          bundle.p90_model = hydra::model_from_text(block);
+          have_p90 = true;
+        }
+      } catch (const std::invalid_argument& error) {
+        line_no = block_start;
+        fail("embedded " + which + " model: " + error.what());
+      }
+    } else {
+      fail("unknown record '" + kind + "'");
+    }
+  }
+  ++line_no;
+  if (!have_gradient) fail("missing gradient record");
+  if (!have_browse || !have_buy) fail("missing lqn-params record");
+  if (bundle.servers.empty()) fail("missing server records");
+  if (!have_mean) fail("missing hydra-model mean block");
+  if (!have_p90) fail("missing hydra-model p90 block");
+  if (bundle.mean_model.gradient_m() != bundle.gradient_m)
+    fail("gradient record disagrees with the embedded mean model");
+  return bundle;
+}
+
+void save_bundle(const std::string& path, const CalibrationBundle& bundle) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  out << to_text(bundle);
+  out.flush();
+  if (!out) throw std::runtime_error("failed writing bundle to '" + path + "'");
+}
+
+CalibrationBundle load_bundle(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bundle file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return bundle_from_text(text.str());
+}
+
+ArtifactCli parse_artifact_flags(int argc, char** argv) {
+  ArtifactCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc)
+        throw std::invalid_argument(arg + " wants a file path");
+      return argv[++i];
+    };
+    if (arg == "--bundle") {
+      cli.load_path = value();
+    } else if (arg == "--save-bundle") {
+      cli.save_path = value();
+    } else {
+      throw std::invalid_argument("unknown argument: " + arg);
+    }
+  }
+  return cli;
+}
+
+CalibrationBundle acquire_bundle(const ArtifactCli& cli,
+                                 const CalibrationOptions& options) {
+  CalibrationBundle bundle = cli.load_path.empty()
+                                 ? calibrate(options)
+                                 : load_bundle(cli.load_path);
+  if (!cli.save_path.empty()) save_bundle(cli.save_path, bundle);
+  return bundle;
+}
+
+}  // namespace epp::calib

@@ -1,0 +1,40 @@
+#include "calib/catalog.hpp"
+
+#include <stdexcept>
+
+namespace epp::calib {
+
+const std::vector<ServerRecord>& trade_catalog() {
+  static const std::vector<ServerRecord> kCatalog{
+      {"AppServF", sim::trade::app_serv_f(), core::arch_f(), true, 0.0},
+      {"AppServVF", sim::trade::app_serv_vf(), core::arch_vf(), true, 0.0},
+      {"AppServS", sim::trade::app_serv_s(), core::arch_s(), false, 0.0},
+  };
+  return kCatalog;
+}
+
+const ServerRecord& catalog_record(const std::string& name) {
+  for (const ServerRecord& record : trade_catalog())
+    if (record.name == name) return record;
+  throw std::invalid_argument("unknown server '" + name + "'");
+}
+
+sim::trade::ServerSpec spec_for(const std::string& name) {
+  return catalog_record(name).sim;
+}
+
+core::ServerArch arch_for(const std::string& name) {
+  return catalog_record(name).arch;
+}
+
+const std::vector<std::string>& server_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const ServerRecord& record : trade_catalog())
+      names.push_back(record.name);
+    return names;
+  }();
+  return kNames;
+}
+
+}  // namespace epp::calib

@@ -1,0 +1,46 @@
+// The server catalog: one authoritative mapping from architecture name to
+// everything the pipeline knows about it — the simulator spec that stands
+// in for the physical machine, the model-side architecture description,
+// and the established/new provenance that decides how the historical
+// method calibrates it.
+//
+// This replaces the string-keyed spec_for/server_names maps that
+// bench/common.cpp hardcoded and the examples and tools re-implied
+// tuple-by-tuple.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trade_model.hpp"
+#include "sim/trade/testbed.hpp"
+
+namespace epp::calib {
+
+/// One catalog entry. max_throughput_rps is 0 in the static catalog and
+/// filled in by calibration (the measured application-specific benchmark).
+struct ServerRecord {
+  std::string name;
+  sim::trade::ServerSpec sim;  // simulator stand-in for the machine
+  core::ServerArch arch;       // how the performance models see it
+  bool established = false;    // historical data available?
+  double max_throughput_rps = 0.0;  // measured; 0 until calibrated
+};
+
+/// The case-study catalog, established servers first (AppServF, AppServVF,
+/// then the new AppServS) — the order every calibration iterates in.
+const std::vector<ServerRecord>& trade_catalog();
+
+/// Catalog entry by name; throws std::invalid_argument for unknown names.
+const ServerRecord& catalog_record(const std::string& name);
+
+/// Simulator server spec by model name (the old bench::spec_for).
+sim::trade::ServerSpec spec_for(const std::string& name);
+
+/// Model-side architecture by name.
+core::ServerArch arch_for(const std::string& name);
+
+/// All catalog names, established first.
+const std::vector<std::string>& server_names();
+
+}  // namespace epp::calib

@@ -1,0 +1,21 @@
+#include "calib/predictor_set.hpp"
+
+namespace epp::calib {
+
+PredictorSet make_predictors(const CalibrationBundle& bundle,
+                             const svc::BatchOptions& batch_options) {
+  PredictorSet set;
+  set.historical = std::make_unique<core::HistoricalPredictor>(
+      bundle.mean_model, bundle.p90_model);
+  set.lqn = std::make_unique<core::LqnPredictor>(bundle.lqn);
+  set.hybrid = std::make_unique<core::HybridPredictor>(bundle.lqn);
+  for (const ServerRecord& record : bundle.servers) {
+    set.lqn->register_server(record.arch);
+    set.hybrid->register_server(record.arch);
+  }
+  set.batch = std::make_unique<svc::BatchPredictor>(
+      set.historical.get(), set.lqn.get(), set.hybrid.get(), batch_options);
+  return set;
+}
+
+}  // namespace epp::calib

@@ -1,0 +1,37 @@
+// PredictorSet: the one construction path from a CalibrationBundle to
+// ready predictors — the three core::Predictor methods the paper compares
+// plus a svc::BatchPredictor wired over them.
+//
+// Predictions from a set built off a loaded bundle are bit-identical to
+// one built from a fresh in-process calibration: the historical models are
+// restored parameter-for-parameter (relationship 2 refitted from exactly
+// the same inputs), and the LQN/hybrid methods are pure functions of the
+// table-2 parameters and the server catalog.
+#pragma once
+
+#include <memory>
+
+#include "calib/bundle.hpp"
+#include "core/historical_predictor.hpp"
+#include "core/hybrid_predictor.hpp"
+#include "core/lqn_predictor.hpp"
+#include "svc/batch_predictor.hpp"
+
+namespace epp::calib {
+
+struct PredictorSet {
+  std::unique_ptr<core::HistoricalPredictor> historical;
+  std::unique_ptr<core::LqnPredictor> lqn;
+  std::unique_ptr<core::HybridPredictor> hybrid;
+  /// Batch engine over the three predictors above (non-owning pointers
+  /// into this set; keep the set alive as long as the engine).
+  std::unique_ptr<svc::BatchPredictor> batch;
+};
+
+/// Build every predictor from the bundle: the historical predictor from
+/// the persisted models, the LQN and hybrid predictors from the table-2
+/// parameters with every catalog architecture registered.
+PredictorSet make_predictors(const CalibrationBundle& bundle,
+                             const svc::BatchOptions& batch_options = {});
+
+}  // namespace epp::calib

@@ -1,0 +1,38 @@
+// Named RNG seeds for the calibration pipeline.
+//
+// Every simulator run in the repo used to pick its seed ad hoc (magic 7s
+// and 11s scattered over bench/, examples/ and tools/). Naming them here
+// makes the separation auditable: calibration runs, the mix benchmark and
+// validation sweeps provably draw from distinct random streams, so a
+// validation never scores a predictor against the very noise it was
+// fitted on.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace epp::calib {
+
+/// Seed for the layered-queuing calibration runs (support service 3: the
+/// single-request-type workloads on the established server).
+inline constexpr std::uint64_t kLqnCalibrationSeed = 7;
+
+/// Seed for the mixed-workload max-throughput benchmark that feeds
+/// relationship 3 (the 25%-buy run on the established server).
+inline constexpr std::uint64_t kMixBenchmarkSeed = 11;
+
+/// Seed for the historical-method measurement sweeps (gradient points and
+/// the 2 lower / 2 upper relationship-1 data points).
+inline constexpr std::uint64_t kSweepSeed = util::Rng::kDefaultSeed;
+
+/// Seed for validation sweeps — distinct from every calibration seed, so
+/// accuracy numbers are always out-of-sample.
+inline constexpr std::uint64_t kValidationSeed = 0xC0FFEE;
+
+static_assert(kValidationSeed != kLqnCalibrationSeed &&
+                  kValidationSeed != kMixBenchmarkSeed &&
+                  kValidationSeed != kSweepSeed,
+              "validation must not reuse a calibration seed");
+
+}  // namespace epp::calib

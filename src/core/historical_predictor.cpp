@@ -1,11 +1,20 @@
 #include "core/historical_predictor.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace epp::core {
 
 HistoricalPredictor::HistoricalPredictor(double gradient_m)
     : model_(gradient_m), p90_model_(gradient_m) {}
+
+HistoricalPredictor::HistoricalPredictor(hydra::HistoricalModel model,
+                                         hydra::HistoricalModel p90_model)
+    : model_(std::move(model)), p90_model_(std::move(p90_model)) {
+  if (model_.gradient_m() != p90_model_.gradient_m())
+    throw std::invalid_argument(
+        "HistoricalPredictor: mean and p90 models disagree on the gradient");
+}
 
 void HistoricalPredictor::calibrate_established_p90(
     const std::string& server, const std::vector<hydra::DataPoint>& lower,

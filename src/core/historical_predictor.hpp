@@ -24,6 +24,12 @@ class HistoricalPredictor final : public Predictor {
   /// it depends on the think time, not the server).
   explicit HistoricalPredictor(double gradient_m);
 
+  /// Restore a predictor from fitted models (e.g. a persisted calibration
+  /// bundle): the mean-response-time model and its direct-p90 companion.
+  /// Both must share one gradient; throws std::invalid_argument otherwise.
+  HistoricalPredictor(hydra::HistoricalModel model,
+                      hydra::HistoricalModel p90_model);
+
   // --- calibration -----------------------------------------------------
   void calibrate_established(const std::string& server,
                              const std::vector<hydra::DataPoint>& lower,
@@ -54,6 +60,9 @@ class HistoricalPredictor final : public Predictor {
 
   const hydra::HistoricalModel& model() const noexcept { return model_; }
   hydra::HistoricalModel& model() noexcept { return model_; }
+  const hydra::HistoricalModel& p90_model() const noexcept {
+    return p90_model_;
+  }
 
   // --- predictions -------------------------------------------------------
   std::string name() const override { return "historical"; }

@@ -16,17 +16,27 @@ void HistoricalModel::add_established(const std::string& name,
   servers_[name] =
       fit_relationship1(lower, upper, max_throughput_rps, gradient_m_);
   established_.push_back(name);
-  if (established_.size() >= 2) {
-    std::vector<Relationship1> fits;
-    for (const std::string& established : established_)
-      fits.push_back(servers_.at(established));
-    rel2_ = fit_relationship2(fits);
-  }
+  refit_cross_server();
 }
 
 void HistoricalModel::add_calibrated(const std::string& name,
                                      const Relationship1& rel) {
   servers_[name] = rel;
+}
+
+void HistoricalModel::restore_established(const std::string& name,
+                                          const Relationship1& rel) {
+  servers_[name] = rel;
+  established_.push_back(name);
+  refit_cross_server();
+}
+
+void HistoricalModel::refit_cross_server() {
+  if (established_.size() < 2) return;
+  std::vector<Relationship1> fits;
+  for (const std::string& established : established_)
+    fits.push_back(servers_.at(established));
+  rel2_ = fit_relationship2(fits);
 }
 
 void HistoricalModel::add_new_server(const std::string& name,
@@ -36,6 +46,12 @@ void HistoricalModel::add_new_server(const std::string& name,
 
 bool HistoricalModel::has_server(const std::string& name) const {
   return servers_.count(name) != 0;
+}
+
+bool HistoricalModel::is_established(const std::string& name) const {
+  for (const std::string& established : established_)
+    if (established == name) return true;
+  return false;
 }
 
 const Relationship1& HistoricalModel::server(const std::string& name) const {

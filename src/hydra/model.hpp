@@ -34,6 +34,12 @@ class HistoricalModel {
   /// the advanced hybrid model, which generates per-architecture data).
   void add_calibrated(const std::string& name, const Relationship1& rel);
 
+  /// Restore an *established* server from its persisted relationship-1
+  /// parameters (deserialisation): the server keeps its established
+  /// provenance and the relationship-2 cross-server fit is recomputed from
+  /// the restored parameters, exactly as add_established would have.
+  void restore_established(const std::string& name, const Relationship1& rel);
+
   /// Register a *new* architecture from just its benchmarked max
   /// throughput; relationship 2 (fitted over the established servers)
   /// supplies the response-time parameters. Needs >= 2 established servers.
@@ -42,6 +48,13 @@ class HistoricalModel {
   bool has_server(const std::string& name) const;
   const Relationship1& server(const std::string& name) const;
   std::vector<std::string> servers() const;
+
+  /// Established servers in calibration order (the order relationship 2 is
+  /// fitted over — preserved across serialisation round trips).
+  const std::vector<std::string>& established_servers() const noexcept {
+    return established_;
+  }
+  bool is_established(const std::string& name) const;
 
   /// The relationship-2 fit over the established servers. Recomputed
   /// eagerly whenever an established server is added, so concurrent
@@ -69,6 +82,8 @@ class HistoricalModel {
   double predict_max_throughput(const std::string& name, double buy_pct) const;
 
  private:
+  void refit_cross_server();
+
   double gradient_m_;
   std::map<std::string, Relationship1> servers_;
   std::vector<std::string> established_;

@@ -6,18 +6,31 @@
 
 namespace epp::hydra {
 
+namespace {
+
+void write_server(std::ostream& os, const std::string& name,
+                  const char* provenance, const Relationship1& rel) {
+  os << "server " << name << ' ' << provenance << ' ' << rel.c_lower << ' '
+     << rel.lambda_lower << ' ' << rel.lambda_upper << ' ' << rel.c_upper
+     << ' ' << rel.max_throughput_rps << ' ' << rel.gradient_m << ' '
+     << rel.transition_lo << ' ' << rel.transition_hi << '\n';
+}
+
+}  // namespace
+
 std::string to_text(const HistoricalModel& model) {
   std::ostringstream os;
   os.precision(17);
-  os << "hydra-model v1\n";
+  os << "hydra-model v2\n";
   os << "gradient " << model.gradient_m() << '\n';
-  for (const std::string& name : model.servers()) {
-    const Relationship1& rel = model.server(name);
-    os << "server " << name << ' ' << rel.c_lower << ' ' << rel.lambda_lower
-       << ' ' << rel.lambda_upper << ' ' << rel.c_upper << ' '
-       << rel.max_throughput_rps << ' ' << rel.gradient_m << ' '
-       << rel.transition_lo << ' ' << rel.transition_hi << '\n';
-  }
+  // Established servers first, in calibration order: relationship 2 is
+  // fitted over them in this order, so preserving it keeps the recomputed
+  // fit bit-identical on load.
+  for (const std::string& name : model.established_servers())
+    write_server(os, name, "established", model.server(name));
+  for (const std::string& name : model.servers())
+    if (!model.is_established(name))
+      write_server(os, name, "derived", model.server(name));
   if (model.has_mix_calibration()) {
     const Relationship3& mix = model.mix_relationship();
     os << "mix " << mix.max_tput_vs_buy_pct.slope << ' '
@@ -40,11 +53,23 @@ HistoricalModel model_from_text(const std::string& text) {
     fail("empty input");
   }
   ++line_no;
-  if (line != "hydra-model v1") fail("bad header '" + line + "'");
+  int version = 0;
+  if (line == "hydra-model v1") {
+    version = 1;  // legacy: no provenance column, everything derived
+  } else if (line == "hydra-model v2") {
+    version = 2;
+  } else {
+    fail("bad header '" + line + "'");
+  }
 
   double gradient = 0.0;
   bool have_gradient = false;
-  std::vector<std::pair<std::string, Relationship1>> servers;
+  struct ServerRecord {
+    std::string name;
+    bool established = false;
+    Relationship1 rel;
+  };
+  std::vector<ServerRecord> servers;
   bool have_mix = false;
   Relationship3 mix;
 
@@ -58,15 +83,25 @@ HistoricalModel model_from_text(const std::string& text) {
       if (!(ls >> gradient) || gradient <= 0.0) fail("bad gradient");
       have_gradient = true;
     } else if (kind == "server") {
-      std::string name;
-      Relationship1 rel;
-      if (!(ls >> name >> rel.c_lower >> rel.lambda_lower >> rel.lambda_upper >>
+      ServerRecord record;
+      if (!(ls >> record.name)) fail("bad server record");
+      if (version >= 2) {
+        std::string provenance;
+        if (!(ls >> provenance)) fail("bad server record");
+        if (provenance == "established") {
+          record.established = true;
+        } else if (provenance != "derived") {
+          fail("bad server provenance '" + provenance + "'");
+        }
+      }
+      Relationship1& rel = record.rel;
+      if (!(ls >> rel.c_lower >> rel.lambda_lower >> rel.lambda_upper >>
             rel.c_upper >> rel.max_throughput_rps >> rel.gradient_m >>
             rel.transition_lo >> rel.transition_hi))
         fail("bad server record");
       if (rel.max_throughput_rps <= 0.0 || rel.gradient_m <= 0.0)
         fail("non-positive server parameters");
-      servers.emplace_back(std::move(name), rel);
+      servers.push_back(std::move(record));
     } else if (kind == "mix") {
       if (!(ls >> mix.max_tput_vs_buy_pct.slope >>
             mix.max_tput_vs_buy_pct.intercept))
@@ -82,7 +117,12 @@ HistoricalModel model_from_text(const std::string& text) {
   }
 
   HistoricalModel model(gradient);
-  for (auto& [name, rel] : servers) model.add_calibrated(name, rel);
+  for (const ServerRecord& record : servers) {
+    if (record.established)
+      model.restore_established(record.name, record.rel);
+    else
+      model.add_calibrated(record.name, record.rel);
+  }
   if (have_mix) model.set_mix(mix);
   return model;
 }

@@ -8,9 +8,12 @@
 // format and back, so a resource manager can persist calibrations between
 // runs instead of re-measuring.
 //
-// Note: established-vs-derived provenance is not preserved; every loaded
-// server is registered via add_calibrated, which is sufficient for
-// prediction (relationship 2 can be refitted from fresh calibrations).
+// Format v2 records established-vs-derived provenance per server:
+// established servers are written in calibration order and restored via
+// restore_established, so the relationship-2 cross-server fit recomputed
+// on load is bit-identical to the fit before saving. Legacy v1 files
+// (which lost provenance and registered everything via add_calibrated)
+// still load, with every server treated as derived.
 #pragma once
 
 #include <iosfwd>
@@ -20,11 +23,11 @@
 
 namespace epp::hydra {
 
-/// Serialise to text. Stable across round trips.
+/// Serialise to text (format v2). Stable across round trips.
 std::string to_text(const HistoricalModel& model);
 
-/// Parse a model produced by to_text. Throws std::invalid_argument with a
-/// line-numbered message on malformed input.
+/// Parse a model produced by to_text (v2) or a legacy v1 file. Throws
+/// std::invalid_argument with a line-numbered message on malformed input.
 HistoricalModel model_from_text(const std::string& text);
 
 }  // namespace epp::hydra

@@ -76,6 +76,53 @@ TEST(HydraSerialize, CommentsAndBlankLinesTolerated) {
   EXPECT_NO_THROW((void)model_from_text(text));
 }
 
+TEST(HydraSerialize, EstablishedProvenanceSurvivesRoundTrip) {
+  HistoricalModel original = sample_model(false);
+  // Rebuild with provenance: F and VF established (in that order), plus a
+  // derived server registered from the cross-server fit.
+  HistoricalModel with_provenance(original.gradient_m());
+  with_provenance.restore_established("AppServF", original.server("AppServF"));
+  with_provenance.restore_established("AppServVF",
+                                      original.server("AppServVF"));
+  with_provenance.add_new_server("AppServS", 86.0);
+
+  const HistoricalModel loaded = model_from_text(to_text(with_provenance));
+  ASSERT_EQ(loaded.established_servers(),
+            with_provenance.established_servers());
+  EXPECT_TRUE(loaded.is_established("AppServF"));
+  EXPECT_TRUE(loaded.is_established("AppServVF"));
+  EXPECT_FALSE(loaded.is_established("AppServS"));
+  // The relationship-2 fit is recomputed from restored parameters, so a
+  // post-load new-server derivation matches the pre-save one exactly.
+  const Relationship1 before =
+      with_provenance.cross_server_fit().predict_for(
+          120.0, with_provenance.gradient_m());
+  const Relationship1 after =
+      loaded.cross_server_fit().predict_for(120.0, loaded.gradient_m());
+  EXPECT_DOUBLE_EQ(after.c_lower, before.c_lower);
+  EXPECT_DOUBLE_EQ(after.lambda_lower, before.lambda_lower);
+  EXPECT_DOUBLE_EQ(after.lambda_upper, before.lambda_upper);
+  EXPECT_DOUBLE_EQ(after.c_upper, before.c_upper);
+}
+
+TEST(HydraSerialize, LegacyV1FilesStillLoadAsDerived) {
+  const std::string v1 =
+      "hydra-model v1\n"
+      "gradient 0.1413\n"
+      "server AppServF 0.00567 0.00123 0.00533 -6.91 186 0.1413 0.66 1.1\n";
+  const HistoricalModel loaded = model_from_text(v1);
+  ASSERT_TRUE(loaded.has_server("AppServF"));
+  EXPECT_FALSE(loaded.is_established("AppServF"));
+  EXPECT_TRUE(loaded.established_servers().empty());
+}
+
+TEST(HydraSerialize, RejectsBadProvenanceToken) {
+  EXPECT_THROW(
+      model_from_text("hydra-model v2\ngradient 0.14\n"
+                      "server F bogus 1 2 3 4 5 6 7 8\n"),
+      std::invalid_argument);
+}
+
 TEST(HydraSerialize, MixRelationshipRestored) {
   const HistoricalModel loaded = model_from_text(to_text(sample_model(true)));
   ASSERT_TRUE(loaded.has_mix_calibration());

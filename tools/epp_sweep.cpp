@@ -1,7 +1,9 @@
 // epp_sweep — batch prediction sweeps from the command line.
 //
-// Calibrates the three prediction methods from the simulated testbed once,
-// then drives the svc::BatchPredictor over the full client-load x buy-mix
+// Acquires the calibration bundle through the unified calib pipeline —
+// cold-calibrated from the simulated testbed, or warm-loaded from a
+// persisted `.epp` artifact with --bundle (zero simulator work) — then
+// drives the svc::BatchPredictor over the full client-load x buy-mix
 // x method x server grid: the exact question stream a resource manager
 // issues when comparing candidate architectures (paper sections 8.2/8.5).
 // Repeated passes show the memoization cache at work — pass 1 computes,
@@ -11,6 +13,7 @@
 //   epp_sweep [--loads lo:hi:step] [--buys p1,p2,...]
 //             [--methods historical,lqn,hybrid] [--servers n1,n2,...]
 //             [--threads N] [--passes N] [--csv]
+//             [--bundle FILE] [--save-bundle FILE]
 #include <cstddef>
 #include <exception>
 #include <iostream>
@@ -20,12 +23,8 @@
 #include <thread>
 #include <vector>
 
-#include "core/evaluation.hpp"
-#include "core/historical_predictor.hpp"
-#include "core/hybrid_predictor.hpp"
-#include "core/lqn_predictor.hpp"
-#include "hydra/relationships.hpp"
-#include "sim/trade/testbed.hpp"
+#include "calib/bundle.hpp"
+#include "calib/predictor_set.hpp"
 #include "svc/batch_predictor.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -44,6 +43,7 @@ struct SweepConfig {
   std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
   std::size_t passes = 2;
   bool csv = false;
+  calib::ArtifactCli artifact;  // --bundle / --save-bundle
 };
 
 std::vector<std::string> split(const std::string& text, char sep) {
@@ -80,10 +80,13 @@ int usage(std::ostream& out) {
   out << "usage: epp_sweep [--loads lo:hi:step] [--buys p1,p2,...]\n"
          "                 [--methods historical,lqn,hybrid]\n"
          "                 [--servers AppServS,AppServF,AppServVF]\n"
-         "                 [--threads N] [--passes N] [--csv]\n\n"
-         "Calibrates all three predictors from the simulated testbed, then\n"
+         "                 [--threads N] [--passes N] [--csv]\n"
+         "                 [--bundle FILE] [--save-bundle FILE]\n\n"
+         "Acquires the calibration bundle (from the simulated testbed, or\n"
+         "warm-started from a persisted artifact with --bundle), then\n"
          "batch-evaluates the client-load x buy-mix grid for every method\n"
-         "and server through the concurrent memoizing prediction engine.\n";
+         "and server through the concurrent memoizing prediction engine.\n"
+         "Produce artifacts with epp_calibrate or --save-bundle.\n";
   return 1;
 }
 
@@ -121,6 +124,10 @@ SweepConfig parse_args(int argc, char** argv) {
         throw std::invalid_argument("--passes wants at least 1");
     } else if (arg == "--csv") {
       config.csv = true;
+    } else if (arg == "--bundle") {
+      config.artifact.load_path = value();
+    } else if (arg == "--save-bundle") {
+      config.artifact.save_path = value();
     } else {
       throw std::invalid_argument("unknown argument: " + std::string(arg));
     }
@@ -141,47 +148,21 @@ int main(int argc, char** argv) try {
   const SweepConfig config = parse_args(argc, argv);
   util::ThreadPool pool(config.threads);
 
-  // --- calibration (mirrors examples/capacity_planning) -------------------
-  std::cerr << "calibrating from the simulated testbed...\n";
+  // --- bundle acquisition: cold calibration or warm artifact load ---------
+  calib::CalibrationOptions calibration_options;
+  calibration_options.pool = &pool;
+  if (config.artifact.load_path.empty())
+    std::cerr << "calibrating from the simulated testbed...\n";
   const util::Timer calibration_timer;
-  const double max_s = sim::trade::measure_max_throughput(sim::trade::app_serv_s());
-  const double max_f = sim::trade::measure_max_throughput(sim::trade::app_serv_f());
-  const double max_vf = sim::trade::measure_max_throughput(sim::trade::app_serv_vf());
-
-  const core::TradeCalibration calibration =
-      core::calibrate_lqn_from_testbed(7, &pool);
-  core::LqnPredictor lqn(calibration);
-  core::HybridPredictor hybrid(calibration);
-  for (const auto& arch : {core::arch_s(), core::arch_f(), core::arch_vf()}) {
-    lqn.register_server(arch);
-    hybrid.register_server(arch);
-  }
-
-  const auto grad = core::measure_sweep(sim::trade::app_serv_f(), {300.0, 600.0},
-                                        {}, &pool);
-  const double m =
-      hydra::fit_gradient({grad[0].clients, grad[1].clients},
-                          {grad[0].throughput_rps, grad[1].throughput_rps});
-  core::HistoricalPredictor historical(m);
-  for (const auto& [name, spec, max] :
-       {std::tuple{"AppServF", sim::trade::app_serv_f(), max_f},
-        std::tuple{"AppServVF", sim::trade::app_serv_vf(), max_vf}}) {
-    const double knee = max / m;
-    historical.calibrate_established(
-        name,
-        core::to_data_points(
-            core::measure_sweep(spec, {0.25 * knee, 0.6 * knee}, {}, &pool)),
-        core::to_data_points(
-            core::measure_sweep(spec, {1.25 * knee, 1.7 * knee}, {}, &pool)),
-        max);
-  }
-  historical.register_new_server("AppServS", max_s);
-  // Relationship 3, so the historical method can answer buy-mix cells.
-  const double max_f_25 =
-      sim::trade::measure_max_throughput(sim::trade::app_serv_f(), 0.25, 11);
-  historical.calibrate_mix({0.0, 25.0}, {max_f, max_f_25});
-  std::cerr << "calibrated in " << util::fmt(calibration_timer.elapsed_ms(), 0)
+  const calib::CalibrationBundle bundle =
+      calib::acquire_bundle(config.artifact, calibration_options);
+  std::cerr << (config.artifact.load_path.empty()
+                    ? "calibrated in "
+                    : "warm start: loaded bundle in ")
+            << util::fmt(calibration_timer.elapsed_ms(),
+                         config.artifact.load_path.empty() ? 0 : 2)
             << " ms\n";
+  const calib::PredictorSet set = calib::make_predictors(bundle);
 
   // --- the grid ------------------------------------------------------------
   std::vector<svc::PredictionRequest> grid;
@@ -191,7 +172,7 @@ int main(int argc, char** argv) try {
         for (const svc::Method method : config.methods)
           grid.push_back({method, server, mixed_load(clients, buy_pct)});
 
-  svc::BatchPredictor engine(&historical, &lqn, &hybrid);
+  svc::BatchPredictor& engine = *set.batch;
   std::vector<svc::PredictionResult> results;
   for (std::size_t pass = 1; pass <= config.passes; ++pass) {
     const util::Timer timer;
