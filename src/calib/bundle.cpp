@@ -1,5 +1,6 @@
 #include "calib/bundle.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -174,8 +175,13 @@ CalibrationBundle bundle_from_text(const std::string& text) {
       if (!(ls >> bundle.lqn_seed >> bundle.mix_seed >> bundle.sweep_seed))
         fail("bad seeds record");
     } else if (kind == "gradient") {
-      if (!(ls >> bundle.gradient_m) || bundle.gradient_m <= 0.0)
-        fail("bad gradient");
+      // Whether operator>> accepts "nan"/"inf" is implementation-defined,
+      // and NaN slips through any `<= 0` comparison, so every numeric
+      // field is checked for finiteness explicitly rather than trusting
+      // the parse to reject it.
+      if (!(ls >> bundle.gradient_m) || !std::isfinite(bundle.gradient_m) ||
+          bundle.gradient_m <= 0.0)
+        fail("bad gradient: want a finite positive value");
       have_gradient = true;
     } else if (kind == "lqn-params") {
       std::string type;
@@ -183,6 +189,11 @@ CalibrationBundle bundle_from_text(const std::string& text) {
       if (!(ls >> type >> params.app_demand_s >> params.db_cpu_per_call_s >>
             params.disk_per_call_s >> params.mean_db_calls))
         fail("bad lqn-params record");
+      for (const double value :
+           {params.app_demand_s, params.db_cpu_per_call_s,
+            params.disk_per_call_s, params.mean_db_calls})
+        if (!std::isfinite(value) || value < 0.0)
+          fail("lqn-params values must be finite and non-negative");
       if (type == "browse") {
         bundle.lqn.browse = params;
         have_browse = true;
@@ -205,9 +216,13 @@ CalibrationBundle bundle_from_text(const std::string& text) {
       } else if (provenance != "new") {
         fail("bad server provenance '" + provenance + "'");
       }
-      if (record.sim.speed <= 0.0 || record.arch.speed <= 0.0 ||
-          record.max_throughput_rps <= 0.0)
-        fail("non-positive server parameters");
+      for (const double value :
+           {record.sim.speed, record.arch.speed, record.max_throughput_rps})
+        if (!std::isfinite(value) || value <= 0.0)
+          fail("server speeds and max throughput must be finite and positive");
+      if (record.sim.concurrency == 0 || record.arch.app_concurrency == 0 ||
+          record.arch.db_concurrency == 0)
+        fail("server concurrency limits must be positive");
       record.sim.name = record.name;
       record.sim.established = record.established;
       record.arch.name = record.name;
@@ -216,6 +231,12 @@ CalibrationBundle bundle_from_text(const std::string& text) {
       MixPoint point;
       if (!(ls >> point.buy_pct >> point.max_throughput_rps))
         fail("bad mix-point record");
+      if (!std::isfinite(point.buy_pct) || point.buy_pct < 0.0 ||
+          point.buy_pct > 100.0)
+        fail("mix-point buy percentage must be finite and within [0, 100]");
+      if (!std::isfinite(point.max_throughput_rps) ||
+          point.max_throughput_rps <= 0.0)
+        fail("mix-point max throughput must be finite and positive");
       bundle.mix_points.push_back(point);
     } else if (kind == "hydra-model") {
       std::string which;

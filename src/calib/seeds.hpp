@@ -30,9 +30,24 @@ inline constexpr std::uint64_t kSweepSeed = util::Rng::kDefaultSeed;
 /// accuracy numbers are always out-of-sample.
 inline constexpr std::uint64_t kValidationSeed = 0xC0FFEE;
 
+/// Seed for deterministic fault injection (svc::FaultInjector): chaos
+/// sweeps are reproducible and provably independent of the measurement
+/// and calibration streams.
+inline constexpr std::uint64_t kFaultInjectionSeed = 0xFA17ED;
+
+/// Seed for retry backoff jitter in the resilient serving layer.
+inline constexpr std::uint64_t kRetryJitterSeed = 0x1177E6;
+
 static_assert(kValidationSeed != kLqnCalibrationSeed &&
                   kValidationSeed != kMixBenchmarkSeed &&
                   kValidationSeed != kSweepSeed,
               "validation must not reuse a calibration seed");
+
+static_assert(kFaultInjectionSeed != kLqnCalibrationSeed &&
+                  kFaultInjectionSeed != kMixBenchmarkSeed &&
+                  kFaultInjectionSeed != kSweepSeed &&
+                  kFaultInjectionSeed != kValidationSeed &&
+                  kFaultInjectionSeed != kRetryJitterSeed,
+              "fault injection must not reuse another stream's seed");
 
 }  // namespace epp::calib

@@ -1,0 +1,48 @@
+// Typed failures of the prediction methods.
+//
+// The predictors historically threw the raw standard exceptions of
+// whatever subsystem failed (out_of_range from the hydra model,
+// runtime_error from solvers, ...), which forced callers to string-match
+// to tell "not calibrated" from "diverged". These types give every
+// failure mode a catchable identity; the serving layer (src/svc) maps
+// them onto its wire-level error taxonomy.
+//
+// Each derives from the standard exception the old code threw, so
+// existing catch sites keep working.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace epp::core {
+
+/// A method was asked about a server (or companion model) it was never
+/// calibrated for. Configuration error: retrying cannot help.
+struct NotCalibratedError : std::out_of_range {
+  using std::out_of_range::out_of_range;
+};
+
+/// The layered solver exhausted its iteration budget without meeting the
+/// convergence criterion; the last iterate is untrusted as a point
+/// prediction. Deterministic for a given model, so not retryable either.
+/// clamped_rt_s carries that last iterate's mean response time (0 when
+/// unavailable): near the saturation knee the fixed point settles into a
+/// sub-percent limit cycle, and order-level consumers — the capacity
+/// bisection asking "which side of the goal?" — may use it knowingly.
+struct SolverDivergedError : std::runtime_error {
+  SolverDivergedError(const std::string& message, int iterations_run,
+                      double clamped_rt_s_ = 0.0)
+      : std::runtime_error(message),
+        iterations(iterations_run),
+        clamped_rt_s(clamped_rt_s_) {}
+  int iterations = 0;
+  double clamped_rt_s = 0.0;
+};
+
+/// A workload failed service-boundary validation (see validate_workload).
+struct InvalidWorkloadError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+}  // namespace epp::core

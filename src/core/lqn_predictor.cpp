@@ -1,6 +1,9 @@
 #include "core/lqn_predictor.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "core/errors.hpp"
 
 namespace epp::core {
 
@@ -19,7 +22,7 @@ bool LqnPredictor::has_server(const std::string& name) const {
 const ServerArch& LqnPredictor::server(const std::string& name) const {
   const auto it = servers_.find(name);
   if (it == servers_.end())
-    throw std::out_of_range("LqnPredictor: unknown server '" + name + "'");
+    throw NotCalibratedError("LqnPredictor: unknown server '" + name + "'");
   return it->second;
 }
 
@@ -27,7 +30,15 @@ lqn::SolveResult LqnPredictor::solve(const std::string& server_name,
                                      const WorkloadSpec& workload) const {
   const auto model =
       build_trade_lqn(calibration_, server(server_name), workload);
-  return lqn::LayeredSolver(solver_options_).solve(model);
+  lqn::SolveResult result = lqn::LayeredSolver(solver_options_).solve(model);
+  // The solver always reports convergence; the predictor refuses to pass a
+  // clamped last iterate off as a prediction unless explicitly allowed.
+  if (!result.converged && solver_options_.require_convergence)
+    throw SolverDivergedError(
+        "LQN solve for '" + server_name + "' did not converge within " +
+            std::to_string(result.iterations) + " layer iteration(s)",
+        result.iterations, result.mean_response_time_s());
+  return result;
 }
 
 double LqnPredictor::predict_mean_rt_s(const std::string& server_name,

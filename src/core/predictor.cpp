@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/errors.hpp"
 #include "dist/rtdist.hpp"
 
 namespace epp::core {
@@ -43,8 +44,16 @@ CapacityResult Predictor::max_clients_for_goal(const std::string& server,
   CapacityResult result;
   auto rt_at = [&](double clients) {
     ++result.prediction_evaluations;
-    return predict_mean_rt_s(server,
-                             workload_at(clients, buy_fraction, think_time_s));
+    try {
+      return predict_mean_rt_s(
+          server, workload_at(clients, buy_fraction, think_time_s));
+    } catch (const SolverDivergedError& diverged) {
+      // The bisection only needs to know which side of the goal a probe
+      // lands on; a knee probe whose solve settled into a sub-percent
+      // limit cycle answers that fine through its clamped estimate.
+      if (diverged.clamped_rt_s > 0.0) return diverged.clamped_rt_s;
+      throw;
+    }
   };
   if (rt_at(1.0) > goal_s) return result;  // not even one client fits
   // Exponential bracketing then bisection (mean RT is monotone in load).

@@ -1,8 +1,27 @@
 #include "core/trade_model.hpp"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "core/errors.hpp"
 
 namespace epp::core {
+
+void validate_workload(const WorkloadSpec& workload) {
+  const auto reject = [](const std::string& what, double value) {
+    throw InvalidWorkloadError("invalid workload: " + what + " = " +
+                               std::to_string(value));
+  };
+  if (!std::isfinite(workload.browse_clients) || workload.browse_clients < 0.0)
+    reject("browse_clients", workload.browse_clients);
+  if (!std::isfinite(workload.buy_clients) || workload.buy_clients < 0.0)
+    reject("buy_clients", workload.buy_clients);
+  if (!std::isfinite(workload.think_time_s) || workload.think_time_s < 0.0)
+    reject("think_time_s", workload.think_time_s);
+  const double mix = workload.buy_fraction();
+  if (mix < 0.0 || mix > 1.0) reject("buy_fraction", mix);
+}
 
 ServerArch arch_s() { return {"AppServS", 86.0 / 186.0, 50, 20}; }
 ServerArch arch_f() { return {"AppServF", 1.0, 50, 20}; }

@@ -51,6 +51,13 @@ struct WorkloadSpec {
   }
 };
 
+/// Service-boundary validation: negative or non-finite client counts,
+/// non-finite or negative think times (and hence any buy fraction outside
+/// [0, 1]) throw core::InvalidWorkloadError with the offending field in
+/// the message. Every prediction entry point that accepts caller-supplied
+/// workloads calls this before touching a model.
+void validate_workload(const WorkloadSpec& workload);
+
 /// Build the layered queuing model of the case study: browse/buy client
 /// reference tasks -> application-server task (multiplicity 50) on its CPU
 /// -> database task (multiplicity 20) on the DB CPU -> disk task on the

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/cancellation.hpp"
+
 namespace epp::lqn {
 
 void ClosedNetwork::check() const {
@@ -188,8 +190,17 @@ MvaResult solve_bard_schweitzer(const ClosedNetwork& network,
   std::vector<std::vector<double>> response(nc, std::vector<double>(k, 0.0));
   std::vector<double> total_r(nc, 0.0), prev_total_r(nc, 0.0), x(nc, 0.0);
 
+  // Cooperative cancellation: the fixed point is the solver's hot loop, so
+  // a deadline-bound caller (the resilient serving layer) can abort it
+  // mid-solve through the ambient token. Polled every 64 iterations — the
+  // clock read is amortised to noise while a 50 ms deadline still cancels
+  // within microseconds of expiring.
+  const util::CancellationToken* cancel = util::current_cancellation();
+
   MvaResult result;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (cancel != nullptr && (iter & 63) == 0 && cancel->cancelled())
+      throw util::Cancelled("MVA solve cancelled");
     for (std::size_t c = 0; c < nc; ++c) {
       total_r[c] = 0.0;
       const double n_c = network.population[c];

@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/cancellation.hpp"
 #include "util/timer.hpp"
 
 namespace epp::lqn {
@@ -275,11 +276,22 @@ SolveResult LayeredSolver::solve(const Model& model) const {
       return f.below_finite_tasks[a].size() < f.below_finite_tasks[b].size();
     });
 
+    const util::CancellationToken* cancel = util::current_cancellation();
     std::vector<double> prev_rt(nc, 0.0);
     layers_converged = false;
     for (int iter = 0;
          iter < options_.max_layer_iterations && !layers_converged; ++iter) {
+      if (cancel != nullptr && cancel->cancelled())
+        throw util::Cancelled("layered solve cancelled");
       ++layer_iterations;
+      // Near the saturation knee the surrogate-demand fixed point can fall
+      // into a small limit cycle under the default averaging. Heavier
+      // damping (Krasnoselskii averaging) is a standard remedy; ramp it up
+      // only after the default damping has had 30 iterations, so every
+      // previously-converging solve is untouched.
+      double keep = 0.5;
+      for (int ramp = 30; iter >= ramp && keep < 0.97; ramp += 30)
+        keep = 0.5 * (1.0 + keep);
       for (TaskId t : order) {
         const double m = static_cast<double>(model.task(t).multiplicity);
         // Customers concurrently inside the task's subtree, per class.
@@ -339,7 +351,7 @@ SolveResult LayeredSolver::solve(const Model& model) const {
           const double s_t = sub_result.response_time_s[i];
           const double target = f.task_visits[c][t] * s_t / m;
           double& demand = f.network.demands[c][f.task_station[t]];
-          demand = 0.5 * demand + 0.5 * target;  // damped update
+          demand = keep * demand + (1.0 - keep) * target;  // damped update
         }
       }
 

@@ -28,14 +28,21 @@ struct SolverOptions {
   /// is cheap, but experiments reproducing figure 3 set 0.020.
   double convergence_tol_s = 1e-6;
   int max_iterations = 100000;
-  /// Bound on the outer (software/hardware alternation) fixed point.
-  int max_layer_iterations = 50;
+  /// Bound on the outer (software/hardware alternation) fixed point. Near
+  /// the saturation knee the loop needs the adaptive-damping ramp (about
+  /// 70 iterations); converged solves exit early regardless of the bound.
+  int max_layer_iterations = 160;
   /// Use exact single-class MVA when applicable (integer population below
   /// this bound). 0 disables; the default mirrors LQNS's approximate path.
   std::size_t exact_population_limit = 0;
   /// Model task thread-pool contention with surrogate multiserver stations
   /// when the pool could constrain throughput.
   bool model_task_contention = true;
+  /// Predictor-level contract: when set, predictors surface a
+  /// non-converged solve as core::SolverDivergedError instead of silently
+  /// returning the clamped last iterate. LayeredSolver::solve itself never
+  /// throws on divergence — it always reports through SolveResult::converged.
+  bool require_convergence = true;
 };
 
 struct ClassPrediction {

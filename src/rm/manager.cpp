@@ -49,6 +49,62 @@ double ResourceManager::additional_capacity(
 Allocation ResourceManager::allocate(
     std::vector<ServiceClassSpec> classes,
     const std::vector<PoolServer>& servers) const {
+  return run_allocation(
+      std::move(classes), servers,
+      [this](const PoolServer& server,
+             const std::map<std::string, double>& existing,
+             const std::vector<ServiceClassSpec>& all_classes,
+             const ServiceClassSpec& cls, Allocation& allocation) {
+        return additional_capacity(server, existing, all_classes, cls,
+                                   allocation.prediction_evaluations);
+      });
+}
+
+Allocation ResourceManager::allocate(std::vector<ServiceClassSpec> classes,
+                                     const std::vector<PoolServer>& servers,
+                                     const svc::ResilientPredictor& resilient,
+                                     svc::Method method) const {
+  return run_allocation(
+      std::move(classes), servers,
+      [&, method](const PoolServer& server,
+                  const std::map<std::string, double>& existing,
+                  const std::vector<ServiceClassSpec>& all_classes,
+                  const ServiceClassSpec& cls, Allocation& allocation) {
+        double existing_total = 0.0, existing_buy = 0.0;
+        double goal = cls.rt_goal_s;
+        for (const ServiceClassSpec& c : all_classes) {
+          const auto it = existing.find(c.name);
+          if (it == existing.end() || it->second <= 0.0) continue;
+          existing_total += it->second;
+          if (c.is_buy) existing_buy += it->second;
+          goal = std::min(goal, c.rt_goal_s);
+        }
+        double extra = 0.0;
+        for (int pass = 0; pass < 2; ++pass) {
+          const double total_guess = existing_total + extra;
+          const double buy_guess = existing_buy + (cls.is_buy ? extra : 0.0);
+          const double mix = total_guess > 0.0
+                                 ? buy_guess / total_guess
+                                 : (cls.is_buy ? 1.0 : 0.0);
+          const svc::CapacityOutcome outcome = resilient.max_clients_for_goal(
+              method, server.arch, goal, mix, options_.think_time_s);
+          if (!outcome.ok()) {
+            // Planned around, not fatal: the server just offers nothing
+            // this round (breaker-open servers are skipped entirely).
+            ++allocation.failed_probes;
+            return 0.0;
+          }
+          allocation.prediction_evaluations +=
+              outcome.value().prediction_evaluations;
+          extra = std::max(0.0, outcome.value().max_clients - existing_total);
+        }
+        return extra;
+      });
+}
+
+Allocation ResourceManager::run_allocation(
+    std::vector<ServiceClassSpec> classes,
+    const std::vector<PoolServer>& servers, const CapacityProbe& probe) const {
   // Line 1: strictest response-time goal first; with insufficient servers
   // the lower-priority (looser-goal) classes are rejected first.
   std::sort(classes.begin(), classes.end(),
@@ -66,9 +122,8 @@ Allocation ResourceManager::allocate(
       // Probe every server's predicted additional capacity for this class.
       std::vector<double> capacity(servers.size());
       for (std::size_t i = 0; i < servers.size(); ++i)
-        capacity[i] = additional_capacity(servers[i], allocation.per_server[i],
-                                          classes, cls,
-                                          allocation.prediction_evaluations);
+        capacity[i] = probe(servers[i], allocation.per_server[i], classes, cls,
+                            allocation);
 
       // Greedy selection: most capacity wins... unless one server can
       // finish the class, in which case take the *smallest* sufficient one

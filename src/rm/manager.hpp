@@ -11,8 +11,14 @@
 // inaccuracy and trading SLA failures against server usage (section 9).
 #pragma once
 
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "core/predictor.hpp"
 #include "rm/types.hpp"
+#include "svc/resilient.hpp"
 
 namespace epp::rm {
 
@@ -35,6 +41,17 @@ class ResourceManager {
   Allocation allocate(std::vector<ServiceClassSpec> classes,
                       const std::vector<PoolServer>& servers) const;
 
+  /// Fault-tolerant Algorithm 1: capacity probes go through the resilient
+  /// serving layer and come back as typed outcomes. A probe that fails —
+  /// circuit open for the (method, server) pair, solver divergence,
+  /// deadline — scores that server as zero additional capacity for the
+  /// round (counted in Allocation::failed_probes) instead of aborting the
+  /// whole allocation, so degraded servers are simply planned around.
+  Allocation allocate(std::vector<ServiceClassSpec> classes,
+                      const std::vector<PoolServer>& servers,
+                      const svc::ResilientPredictor& resilient,
+                      svc::Method method) const;
+
   /// Predicted additional clients of `cls` that server i could take on top
   /// of an existing allocation without the model predicting an SLA miss
   /// for any class on the server (capacity probe used by the algorithm).
@@ -45,6 +62,17 @@ class ResourceManager {
                              int& prediction_evaluations) const;
 
  private:
+  /// Capacity probe: clients of `cls` the server can still take, charged
+  /// against `allocation`'s evaluation/failure counters.
+  using CapacityProbe = std::function<double(
+      const PoolServer&, const std::map<std::string, double>&,
+      const std::vector<ServiceClassSpec>&, const ServiceClassSpec&,
+      Allocation&)>;
+
+  Allocation run_allocation(std::vector<ServiceClassSpec> classes,
+                            const std::vector<PoolServer>& servers,
+                            const CapacityProbe& probe) const;
+
   const core::Predictor& predictor_;
   ManagerOptions options_;
 };

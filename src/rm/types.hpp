@@ -34,6 +34,10 @@ struct Allocation {
   std::map<std::string, double> unallocated_by_class;  // scaled units
   /// Cost of the run in performance-model queries (section 8.5).
   int prediction_evaluations = 0;
+  /// Resilient runs only: capacity probes that returned a typed error
+  /// (circuit open, divergence, deadline) and were scored as capacity 0
+  /// instead of aborting the allocation.
+  int failed_probes = 0;
 
   double scaled_on_server(std::size_t i) const;
   double buy_scaled_on_server(std::size_t i,

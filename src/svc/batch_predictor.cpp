@@ -60,7 +60,7 @@ core::WorkloadSpec BatchPredictor::quantized(
   return q;
 }
 
-CacheKey BatchPredictor::key_for(const PredictionRequest& request) const {
+CacheKey BatchPredictor::cache_key(const PredictionRequest& request) const {
   CacheKey key;
   key.method = request.method;
   key.server = request.server;
@@ -72,25 +72,47 @@ CacheKey BatchPredictor::key_for(const PredictionRequest& request) const {
 
 PredictionResult BatchPredictor::predict(
     const PredictionRequest& request) const {
-  const CacheKey key = key_for(request);
-  if (const auto hit = cache_.lookup(key))
-    return {hit->mean_rt_s, hit->throughput_rps, true};
+  core::validate_workload(request.workload);
+  const CacheKey key = cache_key(request);
+  if (const auto hit = cache_.lookup(key)) {
+    PredictionResult result;
+    result.mean_rt_s = hit->mean_rt_s;
+    result.throughput_rps = hit->throughput_rps;
+    result.cached = true;
+    return result;
+  }
 
   const core::Predictor& predictor = predictor_for(request.method);
+  if (options_.fault != nullptr &&
+      options_.fault->should_fail(request.method, request.server))
+    throw InjectedFault(request.method, request.server);
   const core::WorkloadSpec workload = quantized(request.workload);
   CachedPrediction fresh;
   fresh.mean_rt_s = predictor.predict_mean_rt_s(request.server, workload);
   fresh.throughput_rps =
       predictor.predict_throughput_rps(request.server, workload);
   cache_.insert(key, fresh);
-  return {fresh.mean_rt_s, fresh.throughput_rps, false};
+  PredictionResult result;
+  result.mean_rt_s = fresh.mean_rt_s;
+  result.throughput_rps = fresh.throughput_rps;
+  return result;
 }
 
 std::vector<PredictionResult> BatchPredictor::predict_batch(
     const std::vector<PredictionRequest>& requests,
     util::ThreadPool* pool) const {
   std::vector<PredictionResult> results(requests.size());
-  const auto evaluate = [&](std::size_t i) { results[i] = predict(requests[i]); };
+  // One failing request must not discard the rest of the batch, so each
+  // slot captures its own error instead of letting it propagate through
+  // parallel_for (which would drop every other result).
+  const auto evaluate = [&](std::size_t i) {
+    try {
+      results[i] = predict(requests[i]);
+    } catch (const std::exception& error) {
+      results[i] = PredictionResult{};
+      results[i].error = error.what();
+    }
+  };
   if (pool != nullptr && requests.size() > 1) {
     pool->parallel_for(requests.size(), evaluate);
   } else {

@@ -22,6 +22,7 @@
 
 #include "core/predictor.hpp"
 #include "core/trade_model.hpp"
+#include "svc/fault.hpp"
 #include "svc/prediction_cache.hpp"
 #include "util/thread_pool.hpp"
 
@@ -39,6 +40,11 @@ struct PredictionResult {
   double mean_rt_s = 0.0;
   double throughput_rps = 0.0;
   bool cached = false;  // answered from the memoization cache
+  /// Batch evaluation: non-empty when this request failed (the values
+  /// above are then meaningless). Single predict() throws instead.
+  std::string error;
+
+  bool ok() const noexcept { return error.empty(); }
 };
 
 struct BatchOptions {
@@ -48,6 +54,11 @@ struct BatchOptions {
   /// quantum_clients, think times to quantum_think_s. Must be positive.
   double quantum_clients = 1.0;
   double quantum_think_s = 0.01;
+  /// Deterministic fault injection at the evaluation boundary (non-owning;
+  /// see svc/fault.hpp). Consulted on cache misses only: a hit replays a
+  /// result that was already computed, which cannot fail. The resilient
+  /// wrapper reads the same injector for its latency stream.
+  const FaultInjector* fault = nullptr;
 };
 
 class BatchPredictor {
@@ -58,12 +69,16 @@ class BatchPredictor {
   BatchPredictor(const core::Predictor* historical, const core::Predictor* lqn,
                  const core::Predictor* hybrid, BatchOptions options = {});
 
-  /// Single cache-aware evaluation. Thread-safe.
+  /// Single cache-aware evaluation. Thread-safe. Throws
+  /// core::InvalidWorkloadError on a malformed workload, InjectedFault
+  /// when the configured injector fails the evaluation, and whatever the
+  /// underlying predictor throws.
   PredictionResult predict(const PredictionRequest& request) const;
 
   /// Evaluate every request — fanned out on `pool` when given, serially
-  /// otherwise. Results align with the input order; the first exception
-  /// from any request is rethrown.
+  /// otherwise. Results align with the input order. A request that throws
+  /// does NOT lose the rest of the batch: its slot carries the error text
+  /// (PredictionResult::error) and every other request still completes.
   std::vector<PredictionResult> predict_batch(
       const std::vector<PredictionRequest>& requests,
       util::ThreadPool* pool = nullptr) const;
@@ -71,16 +86,21 @@ class BatchPredictor {
   /// The workload a request is actually evaluated at (the cache-key grid).
   core::WorkloadSpec quantized(const core::WorkloadSpec& workload) const;
 
+  /// The cache key a request quantizes to. Public so resilience layers
+  /// can key auxiliary stores (e.g. stale-result serving) on the exact
+  /// same grid the cache uses.
+  CacheKey cache_key(const PredictionRequest& request) const;
+
   /// The underlying predictor for a method; throws std::invalid_argument
   /// when that method was not supplied.
   const core::Predictor& predictor_for(Method method) const;
+
+  const BatchOptions& options() const noexcept { return options_; }
 
   CacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
 
  private:
-  CacheKey key_for(const PredictionRequest& request) const;
-
   const core::Predictor* historical_;
   const core::Predictor* lqn_;
   const core::Predictor* hybrid_;

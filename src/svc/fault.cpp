@@ -1,0 +1,157 @@
+#include "svc/fault.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace epp::svc {
+namespace {
+
+/// FNV-1a — std::hash<string> is implementation-defined, and the fault
+/// sequences should reproduce across standard libraries.
+std::uint64_t fnv1a(const std::string& text) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Uniform [0, 1) as a pure function of (seed, method, server, draw#).
+double unit_draw(std::uint64_t seed, Method method, const std::string& server,
+                 std::uint64_t draw, std::uint64_t stream_tag) noexcept {
+  std::uint64_t state = seed;
+  state ^= fnv1a(server);
+  state ^= (static_cast<std::uint64_t>(method) + 1) * 0xBF58476D1CE4E5B9ULL;
+  state ^= (draw + 1) * 0x94D049BB133111EBULL;
+  state ^= stream_tag * 0x9E3779B97F4A7C15ULL;
+  const std::uint64_t bits = util::splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, sep))
+    if (!part.empty()) parts.push_back(part);
+  return parts;
+}
+
+}  // namespace
+
+const MethodFaults& FaultConfig::for_method(Method method) const {
+  switch (method) {
+    case Method::kHistorical:
+      return historical;
+    case Method::kLqn:
+      return lqn;
+    case Method::kHybrid:
+      return hybrid;
+  }
+  return historical;  // unreachable
+}
+
+MethodFaults& FaultConfig::for_method(Method method) {
+  return const_cast<MethodFaults&>(
+      static_cast<const FaultConfig&>(*this).for_method(method));
+}
+
+bool FaultConfig::any() const noexcept {
+  for (const MethodFaults* faults : {&historical, &lqn, &hybrid})
+    if (faults->fail_probability > 0.0 || faults->latency_s > 0.0) return true;
+  return false;
+}
+
+FaultConfig parse_fault_spec(const std::string& spec) {
+  FaultConfig config;
+  for (const std::string& clause : split(spec, ';')) {
+    const auto colon = clause.find(':');
+    if (colon == std::string::npos)
+      throw std::invalid_argument("fault spec clause '" + clause +
+                                  "' wants target:knob[,knob...]");
+    const std::string target = clause.substr(0, colon);
+    std::vector<MethodFaults*> targets;
+    if (target == "*") {
+      targets = {&config.historical, &config.lqn, &config.hybrid};
+    } else {
+      targets = {&config.for_method(method_from_name(target))};
+    }
+    const auto knobs = split(clause.substr(colon + 1), ',');
+    if (knobs.empty())
+      throw std::invalid_argument("fault spec clause '" + clause +
+                                  "' has no knobs");
+    for (const std::string& knob : knobs) {
+      const auto eq = knob.find('=');
+      if (eq == std::string::npos)
+        throw std::invalid_argument("fault spec knob '" + knob +
+                                    "' wants name=value");
+      const std::string name = knob.substr(0, eq);
+      double value = 0.0;
+      try {
+        value = std::stod(knob.substr(eq + 1));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("fault spec knob '" + knob +
+                                    "' has a non-numeric value");
+      }
+      if (!std::isfinite(value) || value < 0.0)
+        throw std::invalid_argument("fault spec knob '" + knob +
+                                    "' wants a finite non-negative value");
+      if (name == "fail") {
+        if (value > 1.0)
+          throw std::invalid_argument("fault spec: fail probability '" + knob +
+                                      "' exceeds 1");
+        for (MethodFaults* faults : targets) faults->fail_probability = value;
+      } else if (name == "latency-ms") {
+        for (MethodFaults* faults : targets) faults->latency_s = value / 1e3;
+      } else {
+        throw std::invalid_argument("fault spec: unknown knob '" + name +
+                                    "' (want fail or latency-ms)");
+      }
+    }
+  }
+  return config;
+}
+
+FaultInjector::FaultInjector(FaultConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+FaultInjector::Streams& FaultInjector::streams_for(
+    Method method, const std::string& server) const {
+  const std::pair<int, std::string> key{static_cast<int>(method), server};
+  const std::lock_guard lock(mutex_);
+  auto& slot = streams_[key];
+  if (slot == nullptr) slot = std::make_unique<Streams>();
+  return *slot;
+}
+
+bool FaultInjector::should_fail(Method method,
+                                const std::string& server) const {
+  const double p = config_.for_method(method).fail_probability;
+  if (p <= 0.0 || !enabled()) return false;
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t draw = streams_for(method, server)
+                                 .fail_draws.fetch_add(
+                                     1, std::memory_order_relaxed);
+  const bool fail = unit_draw(seed_, method, server, draw, /*tag=*/1) < p;
+  if (fail) failures_.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+double FaultInjector::injected_latency_s(Method method,
+                                         const std::string& server) const {
+  const double mean = config_.for_method(method).latency_s;
+  if (mean <= 0.0 || !enabled()) return 0.0;
+  const std::uint64_t draw = streams_for(method, server)
+                                 .latency_draws.fetch_add(
+                                     1, std::memory_order_relaxed);
+  // Exponential around the configured mean (inverse CDF of the draw), so
+  // deadline policies see a realistic tail, still deterministically.
+  const double u = unit_draw(seed_, method, server, draw, /*tag=*/2);
+  return -mean * std::log1p(-u);
+}
+
+}  // namespace epp::svc

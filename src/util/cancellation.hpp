@@ -1,0 +1,98 @@
+// Cooperative cancellation for long-running computations.
+//
+// A CancellationToken combines an explicit cancel flag with an optional
+// steady-clock deadline. Work that may run long (the MVA fixed point, the
+// layered solver's outer iteration, thread-pool parallel_for lanes) polls
+// cancelled() at natural checkpoints and unwinds with util::Cancelled —
+// nothing is interrupted preemptively, so invariants hold at every exit.
+//
+// Tokens are usually threaded explicitly, but prediction methods hide
+// their solvers behind a narrow Predictor interface, so the serving layer
+// installs the active token as a thread-local *ambient* token with
+// CancellationScope; the solvers poll current_cancellation(). Each request
+// is evaluated on one thread, so the ambient token is race-free.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace epp::util {
+
+/// Thrown by cancellation checkpoints when the governing token fired.
+struct Cancelled : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+  explicit CancellationToken(Clock::time_point deadline) noexcept
+      : deadline_(deadline) {}
+
+  /// Token that expires `seconds` from now (<= 0 is already expired).
+  static CancellationToken after(double seconds) noexcept {
+    return CancellationToken(
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds)));
+  }
+
+  void cancel() const noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  /// True once cancel() was called or the deadline passed. The deadline
+  /// check latches into the flag so later calls skip the clock read.
+  bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (deadline_ == Clock::time_point::max()) return false;
+    if (Clock::now() < deadline_) return false;
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool has_deadline() const noexcept {
+    return deadline_ != Clock::time_point::max();
+  }
+  Clock::time_point deadline() const noexcept { return deadline_; }
+
+  /// Throw util::Cancelled when the token fired.
+  void check(const char* what) const {
+    if (cancelled()) throw Cancelled(what);
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_ = Clock::time_point::max();
+};
+
+namespace detail {
+inline thread_local const CancellationToken* t_ambient_token = nullptr;
+}  // namespace detail
+
+/// The ambient token installed by the innermost live CancellationScope on
+/// this thread (nullptr when none).
+inline const CancellationToken* current_cancellation() noexcept {
+  return detail::t_ambient_token;
+}
+
+/// RAII installer for the thread's ambient token; nests (the previous
+/// token is restored on destruction).
+class CancellationScope {
+ public:
+  explicit CancellationScope(const CancellationToken* token) noexcept
+      : previous_(detail::t_ambient_token) {
+    detail::t_ambient_token = token;
+  }
+  ~CancellationScope() { detail::t_ambient_token = previous_; }
+
+  CancellationScope(const CancellationScope&) = delete;
+  CancellationScope& operator=(const CancellationScope&) = delete;
+
+ private:
+  const CancellationToken* previous_;
+};
+
+}  // namespace epp::util

@@ -45,7 +45,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              const CancellationToken* cancel) {
   if (n == 0) return;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
@@ -54,6 +55,7 @@ void ThreadPool::parallel_for(std::size_t n,
 
   auto body = [&] {
     for (;;) {
+      if (cancel != nullptr && cancel->cancelled()) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n || failed.load(std::memory_order_relaxed)) return;
       try {

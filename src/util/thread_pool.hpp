@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancellation.hpp"
+
 namespace epp::util {
 
 class ThreadPool {
@@ -46,8 +48,12 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
-  /// Exceptions from any task are rethrown (first one wins).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// Exceptions from any task are rethrown (first one wins). When `cancel`
+  /// is given and fires, lanes stop claiming new indices — indices already
+  /// claimed still run to completion, unclaimed ones are skipped silently
+  /// (callers that must account for every index check the token per item).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    const CancellationToken* cancel = nullptr);
 
  private:
   void worker_loop();

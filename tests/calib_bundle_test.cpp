@@ -214,6 +214,67 @@ TEST(CalibBundle, RejectsMalformedInputWithLineNumbers) {
             std::string::npos);
 }
 
+TEST(CalibBundle, RejectsNonFiniteAndOutOfRangeNumbers) {
+  // A corrupted artifact must fail at load time with the offending line,
+  // not surface later as NaN predictions. Note operator>> happily parses
+  // "nan"/"inf", so these exercise the explicit numeric validation.
+  const std::string text = to_text(fixture_bundle());
+  const auto message_of = [&](const std::string& from, const std::string& to) {
+    try {
+      (void)bundle_from_text(replace_line(text, from, to));
+    } catch (const std::invalid_argument& error) {
+      return std::string(error.what());
+    }
+    return std::string();
+  };
+
+  // Layout: line 3 gradient, 4-5 lqn-params, 6+ servers, then mix-points.
+  const std::string bad_gradient = message_of("gradient ", "gradient nan #");
+  EXPECT_NE(bad_gradient.find("line 3"), std::string::npos) << bad_gradient;
+  EXPECT_NE(bad_gradient.find("bad gradient"), std::string::npos);
+  EXPECT_NE(message_of("gradient ", "gradient inf #").find("bad gradient"),
+            std::string::npos);
+  EXPECT_NE(message_of("gradient ", "gradient 0 #").find("bad gradient"),
+            std::string::npos);
+
+  // This toolchain's operator>> refuses "nan"/"inf" (failbit), so those
+  // land on the record-shape errors; the explicit range checks are what
+  // catches negatives, zeros and out-of-range values that *do* parse.
+  const std::string nan_params = message_of(
+      "lqn-params browse ", "lqn-params browse nan 0.001 0.0004 1.14 #");
+  EXPECT_NE(nan_params.find("line 4"), std::string::npos) << nan_params;
+  const std::string negative_params = message_of(
+      "lqn-params buy ", "lqn-params buy -0.01 0.001 0.0005 2 #");
+  EXPECT_NE(negative_params.find("line 5"), std::string::npos)
+      << negative_params;
+  EXPECT_NE(negative_params.find("finite and non-negative"),
+            std::string::npos);
+
+  const std::string bad_speed = message_of(
+      "server AppServF ", "server AppServF established -1 50 1 50 20 186 #");
+  EXPECT_NE(bad_speed.find("line 6"), std::string::npos) << bad_speed;
+  EXPECT_NE(bad_speed.find("finite and positive"), std::string::npos);
+  EXPECT_NE(
+      message_of("server AppServF ",
+                 "server AppServF established 1 50 1 50 20 -186 #")
+          .find("finite and positive"),
+      std::string::npos);
+  EXPECT_NE(message_of("server AppServF ",
+                       "server AppServF established 1 0 1 50 20 186 #")
+                .find("concurrency limits must be positive"),
+            std::string::npos);
+
+  EXPECT_NE(message_of("mix-point 0 ", "mix-point 150 200 #")
+                .find("within [0, 100]"),
+            std::string::npos);
+  EXPECT_NE(message_of("mix-point 0 ", "mix-point -5 200 #")
+                .find("within [0, 100]"),
+            std::string::npos);
+  EXPECT_NE(message_of("mix-point 0 ", "mix-point 0 -200 #")
+                .find("finite and positive"),
+            std::string::npos);
+}
+
 TEST(CalibBundle, RejectsTruncatedArtifacts) {
   const std::string text = to_text(fixture_bundle());
 

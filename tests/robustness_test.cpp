@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "core/errors.hpp"
 #include "core/trade_model.hpp"
 #include "hydra/relationships.hpp"
 #include "lqn/parser.hpp"
@@ -159,6 +162,65 @@ TEST(Robustness, ParserHandlesLongInput) {
   EXPECT_NO_THROW(model.validate());
   const auto r = lqn::LayeredSolver().solve(model);
   EXPECT_TRUE(r.converged);
+}
+
+// ---------------------------------------------------------------------------
+// Workload validation at the service boundary.
+// ---------------------------------------------------------------------------
+
+TEST(Robustness, WorkloadValidationRejectsMalformedSpecs) {
+  const auto invalid = [](core::WorkloadSpec w) {
+    EXPECT_THROW(core::validate_workload(w), core::InvalidWorkloadError);
+  };
+  core::WorkloadSpec w;
+
+  w.browse_clients = -1.0;
+  invalid(w);
+  w.browse_clients = std::nan("");
+  invalid(w);
+  w.browse_clients = std::numeric_limits<double>::infinity();
+  invalid(w);
+
+  w = {};
+  w.buy_clients = -0.5;
+  invalid(w);
+  w.buy_clients = -std::numeric_limits<double>::infinity();
+  invalid(w);
+
+  w = {};
+  w.browse_clients = 100.0;
+  w.think_time_s = -7.0;
+  invalid(w);
+  w.think_time_s = std::nan("");
+  invalid(w);
+}
+
+TEST(Robustness, WorkloadValidationAcceptsBoundaryValues) {
+  core::WorkloadSpec empty;  // zero clients is a legal (trivial) workload
+  EXPECT_NO_THROW(core::validate_workload(empty));
+
+  core::WorkloadSpec zero_think;
+  zero_think.browse_clients = 50.0;
+  zero_think.think_time_s = 0.0;
+  EXPECT_NO_THROW(core::validate_workload(zero_think));
+
+  core::WorkloadSpec all_buy;
+  all_buy.buy_clients = 10.0;
+  EXPECT_NO_THROW(core::validate_workload(all_buy));
+  EXPECT_DOUBLE_EQ(all_buy.buy_fraction(), 1.0);
+}
+
+TEST(Robustness, WorkloadValidationErrorNamesTheOffendingField) {
+  core::WorkloadSpec w;
+  w.buy_clients = -2.0;
+  try {
+    core::validate_workload(w);
+    FAIL() << "negative buy_clients accepted";
+  } catch (const core::InvalidWorkloadError& error) {
+    EXPECT_NE(std::string(error.what()).find("buy_clients"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -9,14 +9,26 @@
 // Repeated passes show the memoization cache at work — pass 1 computes,
 // later passes answer from the sharded LRU.
 //
+// Resilient serving mode: any of --deadline-ms / --max-retries /
+// --fault-spec / --batch-budget-ms routes the grid through the
+// svc::ResilientPredictor instead — every cell comes back as a typed
+// outcome (value or error code), degraded cells are flagged
+// fallback/stale, and the run ends with the resilience counters. With
+// --fault-spec, deterministic seeded faults (calib::kFaultInjectionSeed)
+// are injected at the evaluation boundary; see src/svc/fault.hpp for the
+// spec grammar.
+//
 // Usage:
 //   epp_sweep [--loads lo:hi:step] [--buys p1,p2,...]
 //             [--methods historical,lqn,hybrid] [--servers n1,n2,...]
 //             [--threads N] [--passes N] [--csv]
 //             [--bundle FILE] [--save-bundle FILE]
+//             [--deadline-ms MS] [--max-retries N]
+//             [--fault-spec SPEC] [--batch-budget-ms MS]
 #include <cstddef>
 #include <exception>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -25,7 +37,10 @@
 
 #include "calib/bundle.hpp"
 #include "calib/predictor_set.hpp"
+#include "calib/seeds.hpp"
 #include "svc/batch_predictor.hpp"
+#include "svc/fault.hpp"
+#include "svc/resilient.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -44,6 +59,17 @@ struct SweepConfig {
   std::size_t passes = 2;
   bool csv = false;
   calib::ArtifactCli artifact;  // --bundle / --save-bundle
+  // Resilient serving (any of these set switches the sweep to the
+  // ResilientPredictor path).
+  double deadline_ms = 0.0;
+  double batch_budget_ms = 0.0;
+  std::optional<int> max_retries;
+  std::string fault_spec;
+
+  bool resilient() const {
+    return deadline_ms > 0.0 || batch_budget_ms > 0.0 ||
+           max_retries.has_value() || !fault_spec.empty();
+  }
 };
 
 std::vector<std::string> split(const std::string& text, char sep) {
@@ -81,12 +107,20 @@ int usage(std::ostream& out) {
          "                 [--methods historical,lqn,hybrid]\n"
          "                 [--servers AppServS,AppServF,AppServVF]\n"
          "                 [--threads N] [--passes N] [--csv]\n"
-         "                 [--bundle FILE] [--save-bundle FILE]\n\n"
+         "                 [--bundle FILE] [--save-bundle FILE]\n"
+         "                 [--deadline-ms MS] [--max-retries N]\n"
+         "                 [--fault-spec SPEC] [--batch-budget-ms MS]\n\n"
          "Acquires the calibration bundle (from the simulated testbed, or\n"
          "warm-started from a persisted artifact with --bundle), then\n"
          "batch-evaluates the client-load x buy-mix grid for every method\n"
          "and server through the concurrent memoizing prediction engine.\n"
-         "Produce artifacts with epp_calibrate or --save-bundle.\n";
+         "Produce artifacts with epp_calibrate or --save-bundle.\n\n"
+         "--deadline-ms / --max-retries / --fault-spec / --batch-budget-ms\n"
+         "switch to fault-tolerant serving: each cell returns a value or a\n"
+         "typed error, degraded cells are flagged fallback/stale. The fault\n"
+         "spec grammar is 'target:knob[,knob...][;...]' with target one of\n"
+         "historical|lqn|hybrid|* and knobs fail=P, latency-ms=MS, e.g.\n"
+         "  --fault-spec 'lqn:fail=0.3,latency-ms=20;*:fail=0.05'\n";
   return 1;
 }
 
@@ -124,6 +158,21 @@ SweepConfig parse_args(int argc, char** argv) {
         throw std::invalid_argument("--passes wants at least 1");
     } else if (arg == "--csv") {
       config.csv = true;
+    } else if (arg == "--deadline-ms") {
+      config.deadline_ms = std::stod(value());
+      if (config.deadline_ms <= 0.0)
+        throw std::invalid_argument("--deadline-ms wants a positive value");
+    } else if (arg == "--batch-budget-ms") {
+      config.batch_budget_ms = std::stod(value());
+      if (config.batch_budget_ms <= 0.0)
+        throw std::invalid_argument("--batch-budget-ms wants a positive value");
+    } else if (arg == "--max-retries") {
+      config.max_retries = std::stoi(value());
+      if (*config.max_retries < 0)
+        throw std::invalid_argument("--max-retries wants >= 0");
+    } else if (arg == "--fault-spec") {
+      config.fault_spec = value();
+      svc::parse_fault_spec(config.fault_spec);  // fail fast on bad specs
     } else if (arg == "--bundle") {
       config.artifact.load_path = value();
     } else if (arg == "--save-bundle") {
@@ -162,7 +211,15 @@ int main(int argc, char** argv) try {
             << util::fmt(calibration_timer.elapsed_ms(),
                          config.artifact.load_path.empty() ? 0 : 2)
             << " ms\n";
-  const calib::PredictorSet set = calib::make_predictors(bundle);
+  // Optional deterministic fault injection, wired through BatchOptions.
+  std::optional<svc::FaultInjector> injector;
+  svc::BatchOptions batch_options;
+  if (!config.fault_spec.empty()) {
+    injector.emplace(svc::parse_fault_spec(config.fault_spec),
+                     calib::kFaultInjectionSeed);
+    batch_options.fault = &*injector;
+  }
+  const calib::PredictorSet set = calib::make_predictors(bundle, batch_options);
 
   // --- the grid ------------------------------------------------------------
   std::vector<svc::PredictionRequest> grid;
@@ -173,43 +230,131 @@ int main(int argc, char** argv) try {
           grid.push_back({method, server, mixed_load(clients, buy_pct)});
 
   svc::BatchPredictor& engine = *set.batch;
-  std::vector<svc::PredictionResult> results;
-  for (std::size_t pass = 1; pass <= config.passes; ++pass) {
-    const util::Timer timer;
-    results = engine.predict_batch(grid, &pool);
-    std::cerr << "pass " << pass << "/" << config.passes << ": " << grid.size()
-              << " predictions in " << util::fmt(timer.elapsed_ms(), 2)
-              << " ms on " << config.threads << " thread(s)\n";
-  }
-
-  // --- output --------------------------------------------------------------
   const std::size_t methods = config.methods.size();
-  if (config.csv) {
-    std::cout << "server,buy_pct,clients,method,mean_rt_ms,throughput_rps\n";
-    for (std::size_t i = 0; i < grid.size(); ++i)
-      std::cout << grid[i].server << ','
-                << util::fmt(100.0 * grid[i].workload.buy_fraction(), 1) << ','
-                << util::fmt(grid[i].workload.total_clients(), 0) << ','
-                << svc::method_name(grid[i].method) << ','
-                << util::fmt(results[i].mean_rt_s * 1e3, 3) << ','
-                << util::fmt(results[i].throughput_rps, 3) << '\n';
-  } else {
-    std::vector<std::string> headers{"server", "buy_pct", "clients"};
-    for (const svc::Method method : config.methods)
-      headers.push_back(std::string(svc::method_name(method)) + "_rt_ms");
-    util::Table table(headers);
-    std::size_t cursor = 0;
-    for (const std::string& server : config.servers)
-      for (const double buy_pct : config.buy_pcts)
-        for (const double clients : config.loads) {
-          std::vector<std::string> row{server, util::fmt(buy_pct, 0),
-                                       util::fmt(clients, 0)};
-          for (std::size_t mi = 0; mi < methods; ++mi)
-            row.push_back(util::fmt(results[cursor + mi].mean_rt_s * 1e3, 2));
-          cursor += methods;
-          table.add_row(row);
+
+  if (config.resilient()) {
+    // --- fault-tolerant serving path ---------------------------------------
+    svc::ResilienceOptions resilience;
+    resilience.deadline_s = config.deadline_ms / 1e3;
+    if (config.max_retries) resilience.max_retries = *config.max_retries;
+    resilience.jitter_seed = calib::kRetryJitterSeed;
+    const svc::ResilientPredictor server_layer(engine, resilience);
+
+    std::vector<svc::Outcome> outcomes;
+    for (std::size_t pass = 1; pass <= config.passes; ++pass) {
+      const util::Timer timer;
+      outcomes = server_layer.predict_batch(grid, &pool,
+                                            config.batch_budget_ms / 1e3);
+      std::cerr << "pass " << pass << "/" << config.passes << ": "
+                << grid.size() << " outcomes in "
+                << util::fmt(timer.elapsed_ms(), 2) << " ms on "
+                << config.threads << " thread(s)\n";
+    }
+
+    if (config.csv) {
+      std::cout << "server,buy_pct,clients,method,status,served_by,fallback,"
+                   "stale,retries,mean_rt_ms,throughput_rps\n";
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        std::cout << grid[i].server << ','
+                  << util::fmt(100.0 * grid[i].workload.buy_fraction(), 1)
+                  << ',' << util::fmt(grid[i].workload.total_clients(), 0)
+                  << ',' << svc::method_name(grid[i].method) << ',';
+        if (outcomes[i].ok()) {
+          const svc::ResilientResult& r = outcomes[i].value();
+          std::cout << "ok," << svc::method_name(r.served_by) << ','
+                    << (r.fallback ? 1 : 0) << ',' << (r.stale ? 1 : 0) << ','
+                    << r.retries << ','
+                    << util::fmt(r.prediction.mean_rt_s * 1e3, 3) << ','
+                    << util::fmt(r.prediction.throughput_rps, 3) << '\n';
+        } else {
+          std::cout << svc::error_code_name(outcomes[i].error().code)
+                    << ",,,,,,\n";
         }
-    table.print(std::cout);
+      }
+    } else {
+      std::vector<std::string> headers{"server", "buy_pct", "clients"};
+      for (const svc::Method method : config.methods)
+        headers.push_back(std::string(svc::method_name(method)) + "_rt_ms");
+      util::Table table(headers);
+      std::size_t cursor = 0;
+      for (const std::string& server : config.servers)
+        for (const double buy_pct : config.buy_pcts)
+          for (const double clients : config.loads) {
+            std::vector<std::string> row{server, util::fmt(buy_pct, 0),
+                                         util::fmt(clients, 0)};
+            for (std::size_t mi = 0; mi < methods; ++mi) {
+              const svc::Outcome& outcome = outcomes[cursor + mi];
+              if (outcome.ok()) {
+                const svc::ResilientResult& r = outcome.value();
+                std::string cell = util::fmt(r.prediction.mean_rt_s * 1e3, 2);
+                if (r.stale)
+                  cell += "*";  // replayed from the stale store
+                else if (r.fallback)
+                  cell += "+";  // served by a fallback method
+                row.push_back(cell);
+              } else {
+                row.push_back(
+                    std::string(svc::error_code_name(outcome.error().code)));
+              }
+            }
+            cursor += methods;
+            table.add_row(row);
+          }
+      table.print(std::cout);
+      std::cout << "(+ = fallback method, * = stale replay)\n";
+    }
+
+    const svc::ResilienceStats rstats = server_layer.stats();
+    std::cerr << "resilience: " << rstats.served << " served / "
+              << rstats.errors << " errors of " << rstats.requests
+              << " requests; " << rstats.retries << " retries, "
+              << rstats.fallbacks << " fallbacks, " << rstats.stale_serves
+              << " stale, " << rstats.deadline_hits << " deadline, "
+              << rstats.breaker_rejections << " breaker-rejected ("
+              << rstats.breaker_opens << " opens)\n";
+    if (injector)
+      std::cerr << "faults: " << injector->injected_failures() << " injected"
+                << " of " << injector->decisions() << " decisions (seed "
+                << injector->seed() << ")\n";
+  } else {
+    // --- plain batch path --------------------------------------------------
+    std::vector<svc::PredictionResult> results;
+    for (std::size_t pass = 1; pass <= config.passes; ++pass) {
+      const util::Timer timer;
+      results = engine.predict_batch(grid, &pool);
+      std::cerr << "pass " << pass << "/" << config.passes << ": "
+                << grid.size() << " predictions in "
+                << util::fmt(timer.elapsed_ms(), 2) << " ms on "
+                << config.threads << " thread(s)\n";
+    }
+
+    if (config.csv) {
+      std::cout << "server,buy_pct,clients,method,mean_rt_ms,throughput_rps\n";
+      for (std::size_t i = 0; i < grid.size(); ++i)
+        std::cout << grid[i].server << ','
+                  << util::fmt(100.0 * grid[i].workload.buy_fraction(), 1)
+                  << ',' << util::fmt(grid[i].workload.total_clients(), 0)
+                  << ',' << svc::method_name(grid[i].method) << ','
+                  << util::fmt(results[i].mean_rt_s * 1e3, 3) << ','
+                  << util::fmt(results[i].throughput_rps, 3) << '\n';
+    } else {
+      std::vector<std::string> headers{"server", "buy_pct", "clients"};
+      for (const svc::Method method : config.methods)
+        headers.push_back(std::string(svc::method_name(method)) + "_rt_ms");
+      util::Table table(headers);
+      std::size_t cursor = 0;
+      for (const std::string& server : config.servers)
+        for (const double buy_pct : config.buy_pcts)
+          for (const double clients : config.loads) {
+            std::vector<std::string> row{server, util::fmt(buy_pct, 0),
+                                         util::fmt(clients, 0)};
+            for (std::size_t mi = 0; mi < methods; ++mi)
+              row.push_back(util::fmt(results[cursor + mi].mean_rt_s * 1e3, 2));
+            cursor += methods;
+            table.add_row(row);
+          }
+      table.print(std::cout);
+    }
   }
 
   const svc::CacheStats stats = engine.cache_stats();
