@@ -145,25 +145,42 @@ std::string to_text(const CalibrationBundle& bundle) {
   return os.str();
 }
 
-CalibrationBundle bundle_from_text(const std::string& text) {
+CalibrationBundle parse_bundle_text(const std::string& text,
+                                    const std::string& file,
+                                    lint::Diagnostics& diagnostics,
+                                    BundleParseInfo* info) {
   std::istringstream is(text);
   std::string line;
   int line_no = 0;
-  auto fail = [&](const std::string& message) -> void {
-    throw std::invalid_argument("epp bundle parse error, line " +
-                                std::to_string(line_no) + ": " + message);
+  BundleParseInfo local_info;
+  BundleParseInfo& parsed = info != nullptr ? *info : local_info;
+  const auto at = [&](int where) { return lint::SourceLocation{file, where}; };
+  const auto here = [&] { return at(line_no); };
+  const auto duplicate = [&](const std::string& what, int first_line) {
+    diagnostics.error("EPP-BND-003", here(),
+                      "duplicate " + what + " (first defined at line " +
+                          std::to_string(first_line) + ")",
+                      "keep exactly one; the old loader silently kept the "
+                      "last, hiding merge mistakes");
   };
 
+  CalibrationBundle bundle;
   if (!std::getline(is, line)) {
-    line_no = 1;
-    fail("empty input");
+    diagnostics.error("EPP-BND-001", at(1), "empty input");
+    return bundle;
   }
   ++line_no;
-  if (line != "epp-bundle v1") fail("bad header '" + line + "'");
+  if (line != "epp-bundle v1") {
+    diagnostics.error("EPP-BND-001", here(), "bad header '" + line + "'",
+                      "artifacts produced by epp_calibrate start with "
+                      "'epp-bundle v1'");
+    return bundle;
+  }
 
-  CalibrationBundle bundle;
   bool have_gradient = false, have_browse = false, have_buy = false;
   bool have_mean = false, have_p90 = false;
+  int browse_line = 0, buy_line = 0;
+  std::map<double, int> mix_lines;
 
   while (std::getline(is, line)) {
     ++line_no;
@@ -172,36 +189,71 @@ CalibrationBundle bundle_from_text(const std::string& text) {
     std::string kind;
     ls >> kind;
     if (kind == "seeds") {
-      if (!(ls >> bundle.lqn_seed >> bundle.mix_seed >> bundle.sweep_seed))
-        fail("bad seeds record");
+      if (parsed.have_seeds) {
+        duplicate("'seeds' record", parsed.seeds_line);
+        continue;
+      }
+      if (!(ls >> bundle.lqn_seed >> bundle.mix_seed >> bundle.sweep_seed)) {
+        diagnostics.error("EPP-BND-002", here(), "bad seeds record");
+        continue;
+      }
+      parsed.have_seeds = true;
+      parsed.seeds_line = line_no;
     } else if (kind == "gradient") {
+      if (have_gradient) {
+        duplicate("'gradient' record", parsed.gradient_line);
+        continue;
+      }
       // Whether operator>> accepts "nan"/"inf" is implementation-defined,
       // and NaN slips through any `<= 0` comparison, so every numeric
       // field is checked for finiteness explicitly rather than trusting
       // the parse to reject it.
       if (!(ls >> bundle.gradient_m) || !std::isfinite(bundle.gradient_m) ||
-          bundle.gradient_m <= 0.0)
-        fail("bad gradient: want a finite positive value");
+          bundle.gradient_m <= 0.0) {
+        diagnostics.error("EPP-BND-002", here(),
+                          "bad gradient: want a finite positive value");
+        continue;
+      }
       have_gradient = true;
+      parsed.gradient_line = line_no;
     } else if (kind == "lqn-params") {
       std::string type;
       core::RequestTypeParams params;
       if (!(ls >> type >> params.app_demand_s >> params.db_cpu_per_call_s >>
-            params.disk_per_call_s >> params.mean_db_calls))
-        fail("bad lqn-params record");
+            params.disk_per_call_s >> params.mean_db_calls)) {
+        diagnostics.error("EPP-BND-002", here(), "bad lqn-params record");
+        continue;
+      }
+      bool finite = true;
       for (const double value :
            {params.app_demand_s, params.db_cpu_per_call_s,
             params.disk_per_call_s, params.mean_db_calls})
-        if (!std::isfinite(value) || value < 0.0)
-          fail("lqn-params values must be finite and non-negative");
+        if (!std::isfinite(value) || value < 0.0) finite = false;
+      if (!finite) {
+        diagnostics.error(
+            "EPP-BND-002", here(),
+            "lqn-params values must be finite and non-negative");
+        continue;
+      }
       if (type == "browse") {
+        if (have_browse) {
+          duplicate("'lqn-params browse' record", browse_line);
+          continue;
+        }
         bundle.lqn.browse = params;
         have_browse = true;
+        browse_line = line_no;
       } else if (type == "buy") {
+        if (have_buy) {
+          duplicate("'lqn-params buy' record", buy_line);
+          continue;
+        }
         bundle.lqn.buy = params;
         have_buy = true;
+        buy_line = line_no;
       } else {
-        fail("unknown request type '" + type + "'");
+        diagnostics.error("EPP-BND-002", here(),
+                          "unknown request type '" + type + "'");
       }
     } else if (kind == "server") {
       ServerRecord record;
@@ -209,77 +261,157 @@ CalibrationBundle bundle_from_text(const std::string& text) {
       if (!(ls >> record.name >> provenance >> record.sim.speed >>
             record.sim.concurrency >> record.arch.speed >>
             record.arch.app_concurrency >> record.arch.db_concurrency >>
-            record.max_throughput_rps))
-        fail("bad server record");
+            record.max_throughput_rps)) {
+        diagnostics.error("EPP-BND-002", here(), "bad server record");
+        continue;
+      }
+      if (const auto seen = parsed.server_lines.find(record.name);
+          seen != parsed.server_lines.end()) {
+        duplicate("server '" + record.name + "'", seen->second);
+        continue;
+      }
       if (provenance == "established") {
         record.established = true;
       } else if (provenance != "new") {
-        fail("bad server provenance '" + provenance + "'");
+        diagnostics.error("EPP-BND-002", here(),
+                          "bad server provenance '" + provenance + "'",
+                          "catalog provenance is 'established' or 'new'");
+        continue;
       }
+      bool positive = true;
       for (const double value :
            {record.sim.speed, record.arch.speed, record.max_throughput_rps})
-        if (!std::isfinite(value) || value <= 0.0)
-          fail("server speeds and max throughput must be finite and positive");
+        if (!std::isfinite(value) || value <= 0.0) positive = false;
+      if (!positive) {
+        diagnostics.error(
+            "EPP-BND-002", here(),
+            "server speeds and max throughput must be finite and positive");
+        continue;
+      }
       if (record.sim.concurrency == 0 || record.arch.app_concurrency == 0 ||
-          record.arch.db_concurrency == 0)
-        fail("server concurrency limits must be positive");
+          record.arch.db_concurrency == 0) {
+        diagnostics.error("EPP-BND-002", here(),
+                          "server concurrency limits must be positive");
+        continue;
+      }
       record.sim.name = record.name;
       record.sim.established = record.established;
       record.arch.name = record.name;
+      parsed.server_lines.emplace(record.name, line_no);
       bundle.servers.push_back(std::move(record));
     } else if (kind == "mix-point") {
       MixPoint point;
-      if (!(ls >> point.buy_pct >> point.max_throughput_rps))
-        fail("bad mix-point record");
+      if (!(ls >> point.buy_pct >> point.max_throughput_rps)) {
+        diagnostics.error("EPP-BND-002", here(), "bad mix-point record");
+        continue;
+      }
       if (!std::isfinite(point.buy_pct) || point.buy_pct < 0.0 ||
-          point.buy_pct > 100.0)
-        fail("mix-point buy percentage must be finite and within [0, 100]");
+          point.buy_pct > 100.0) {
+        diagnostics.error(
+            "EPP-BND-002", here(),
+            "mix-point buy percentage must be finite and within [0, 100]");
+        continue;
+      }
       if (!std::isfinite(point.max_throughput_rps) ||
-          point.max_throughput_rps <= 0.0)
-        fail("mix-point max throughput must be finite and positive");
+          point.max_throughput_rps <= 0.0) {
+        diagnostics.error(
+            "EPP-BND-002", here(),
+            "mix-point max throughput must be finite and positive");
+        continue;
+      }
+      if (const auto seen = mix_lines.find(point.buy_pct);
+          seen != mix_lines.end()) {
+        duplicate("mix-point at " + std::to_string(point.buy_pct) + "% buy",
+                  seen->second);
+        continue;
+      }
+      mix_lines.emplace(point.buy_pct, line_no);
       bundle.mix_points.push_back(point);
     } else if (kind == "hydra-model") {
       std::string which;
       std::size_t lines = 0;
-      if (!(ls >> which >> lines)) fail("bad hydra-model record");
-      if (which != "mean" && which != "p90")
-        fail("unknown hydra-model block '" + which + "'");
+      if (!(ls >> which >> lines)) {
+        diagnostics.error("EPP-BND-002", here(), "bad hydra-model record");
+        continue;
+      }
+      if (which != "mean" && which != "p90") {
+        diagnostics.error("EPP-BND-002", here(),
+                          "unknown hydra-model block '" + which + "'");
+        continue;
+      }
       const int block_start = line_no;
       std::string block;
+      bool truncated = false;
       for (std::size_t i = 0; i < lines; ++i) {
         if (!std::getline(is, line)) {
-          line_no = block_start;
-          fail("truncated hydra-model block: expected " +
-               std::to_string(lines) + " lines, got " + std::to_string(i));
+          diagnostics.error("EPP-BND-005", at(block_start),
+                            "truncated hydra-model block: expected " +
+                                std::to_string(lines) + " lines, got " +
+                                std::to_string(i));
+          truncated = true;
+          break;
         }
         ++line_no;
         block += line;
         block += '\n';
       }
+      if (truncated) break;  // consumed to EOF; nothing left to scan
+      if (which == "mean" && have_mean) {
+        duplicate("'hydra-model mean' block", parsed.mean_model_line);
+        continue;
+      }
+      if (which == "p90" && have_p90) {
+        duplicate("'hydra-model p90' block", parsed.p90_model_line);
+        continue;
+      }
       try {
         if (which == "mean") {
           bundle.mean_model = hydra::model_from_text(block);
           have_mean = true;
+          parsed.mean_model_line = block_start;
         } else {
           bundle.p90_model = hydra::model_from_text(block);
           have_p90 = true;
+          parsed.p90_model_line = block_start;
         }
       } catch (const std::invalid_argument& error) {
-        line_no = block_start;
-        fail("embedded " + which + " model: " + error.what());
+        diagnostics.error("EPP-BND-005", at(block_start),
+                          "embedded " + which + " model: " + error.what());
       }
     } else {
-      fail("unknown record '" + kind + "'");
+      diagnostics.error("EPP-BND-002", here(),
+                        "unknown record '" + kind + "'");
     }
   }
-  ++line_no;
-  if (!have_gradient) fail("missing gradient record");
-  if (!have_browse || !have_buy) fail("missing lqn-params record");
-  if (bundle.servers.empty()) fail("missing server records");
-  if (!have_mean) fail("missing hydra-model mean block");
-  if (!have_p90) fail("missing hydra-model p90 block");
-  if (bundle.mean_model.gradient_m() != bundle.gradient_m)
-    fail("gradient record disagrees with the embedded mean model");
+
+  const auto missing = [&](const std::string& what) {
+    diagnostics.error("EPP-BND-004", at(0), "missing " + what,
+                      "regenerate the artifact with epp_calibrate");
+  };
+  if (!have_gradient) missing("gradient record");
+  if (!have_browse || !have_buy) missing("lqn-params record");
+  if (bundle.servers.empty()) missing("server records");
+  if (!have_mean) missing("hydra-model mean block");
+  if (!have_p90) missing("hydra-model p90 block");
+  if (have_gradient && have_mean &&
+      bundle.mean_model.gradient_m() != bundle.gradient_m)
+    diagnostics.error(
+        "EPP-BND-006", at(parsed.gradient_line),
+        "gradient record disagrees with the embedded mean model",
+        "re-run epp_calibrate instead of editing records by hand");
+  return bundle;
+}
+
+CalibrationBundle bundle_from_text(const std::string& text) {
+  lint::Diagnostics diagnostics;
+  CalibrationBundle bundle = parse_bundle_text(text, "", diagnostics);
+  if (const lint::Diagnostic* first =
+          diagnostics.first_at_least(lint::Severity::kError)) {
+    std::string message = "epp bundle parse error";
+    if (first->location.line > 0)
+      message += ", line " + std::to_string(first->location.line);
+    throw std::invalid_argument(message + ": " + first->message);
+  }
   return bundle;
 }
 

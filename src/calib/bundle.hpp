@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "calib/seeds.hpp"
 #include "core/trade_model.hpp"
 #include "hydra/model.hpp"
+#include "lint/diagnostic.hpp"
 #include "util/thread_pool.hpp"
 
 namespace epp::calib {
@@ -92,8 +94,35 @@ CalibrationBundle calibrate(const CalibrationOptions& options = {});
 /// round trips.
 std::string to_text(const CalibrationBundle& bundle);
 
+/// Facts about an artifact's *source text* that the parsed bundle struct
+/// cannot carry (record presence and line numbers) — the lint rules in
+/// src/lint/rules_bundle.cpp locate their findings with these.
+struct BundleParseInfo {
+  bool have_seeds = false;
+  int seeds_line = 0;
+  int gradient_line = 0;
+  int mean_model_line = 0;  // header line of the embedded mean block
+  int p90_model_line = 0;   // header line of the embedded p90 block
+  std::map<std::string, int> server_lines;  // catalog record line by name
+};
+
+/// Parse `.epp` artifact text, appending every structural finding (the
+/// EPP-BND-001..006 rules: bad header, malformed records, duplicate
+/// records/sections, missing required records, truncated embedded
+/// blocks, gradient/model disagreement) to `diagnostics`, located in
+/// `file`. Malformed records are skipped, so one bad line yields one
+/// finding instead of hiding everything after it. Returns the (possibly
+/// partial) bundle; trust it only when no error was added. This is the
+/// single source of truth for the format — bundle_from_text and
+/// tools/epp_lint both run it.
+CalibrationBundle parse_bundle_text(const std::string& text,
+                                    const std::string& file,
+                                    lint::Diagnostics& diagnostics,
+                                    BundleParseInfo* info = nullptr);
+
 /// Parse a bundle produced by to_text. Throws std::invalid_argument with
-/// a line-numbered message on malformed or truncated input.
+/// the first parse_bundle_text error (line-numbered message) on
+/// malformed, truncated or duplicate-record input.
 CalibrationBundle bundle_from_text(const std::string& text);
 
 /// File convenience wrappers; throw std::runtime_error on I/O failure.

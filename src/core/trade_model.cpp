@@ -8,19 +8,42 @@
 
 namespace epp::core {
 
-void validate_workload(const WorkloadSpec& workload) {
-  const auto reject = [](const std::string& what, double value) {
-    throw InvalidWorkloadError("invalid workload: " + what + " = " +
-                               std::to_string(value));
+void lint_workload(const WorkloadSpec& workload,
+                   const lint::SourceLocation& where,
+                   lint::Diagnostics& diagnostics) {
+  const std::size_t before = diagnostics.size();
+  const auto bad_field = [](const std::string& what, double value) {
+    return what + " = " + std::to_string(value);
   };
   if (!std::isfinite(workload.browse_clients) || workload.browse_clients < 0.0)
-    reject("browse_clients", workload.browse_clients);
+    diagnostics.error("EPP-WKL-001", where,
+                      bad_field("browse_clients", workload.browse_clients),
+                      "client counts must be finite and non-negative");
   if (!std::isfinite(workload.buy_clients) || workload.buy_clients < 0.0)
-    reject("buy_clients", workload.buy_clients);
+    diagnostics.error("EPP-WKL-001", where,
+                      bad_field("buy_clients", workload.buy_clients),
+                      "client counts must be finite and non-negative");
   if (!std::isfinite(workload.think_time_s) || workload.think_time_s < 0.0)
-    reject("think_time_s", workload.think_time_s);
+    diagnostics.error("EPP-WKL-002", where,
+                      bad_field("think_time_s", workload.think_time_s),
+                      "think time must be finite and non-negative");
   const double mix = workload.buy_fraction();
-  if (mix < 0.0 || mix > 1.0) reject("buy_fraction", mix);
+  if (mix < 0.0 || mix > 1.0)
+    diagnostics.error("EPP-WKL-003", where, bad_field("buy_fraction", mix),
+                      "buy fraction must lie within [0, 1]");
+  if (diagnostics.size() != before) return;
+  if (workload.total_clients() <= 0.0)
+    diagnostics.warning("EPP-WKL-004", where,
+                        "empty workload (zero clients)",
+                        "give the cell a positive client population");
+}
+
+void validate_workload(const WorkloadSpec& workload) {
+  lint::Diagnostics diagnostics;
+  lint_workload(workload, {}, diagnostics);
+  if (const lint::Diagnostic* first =
+          diagnostics.first_at_least(lint::Severity::kError))
+    throw InvalidWorkloadError("invalid workload: " + first->message);
 }
 
 ServerArch arch_s() { return {"AppServS", 86.0 / 186.0, 50, 20}; }

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <string>
 
+#include "lint/diagnostic.hpp"
 #include "lqn/model.hpp"
 
 namespace epp::core {
@@ -51,11 +52,25 @@ struct WorkloadSpec {
   }
 };
 
+/// Rule-coded workload lint (the EPP-WKL-* rules): appends one diagnostic
+/// per violated field to `diagnostics`, located at `where`. This is the
+/// single source of truth for workload plausibility — validate_workload
+/// and the epp_lint grid checks both run it.
+///   EPP-WKL-001 (error)   non-finite or negative client count
+///   EPP-WKL-002 (error)   non-finite or negative think time
+///   EPP-WKL-003 (error)   buy fraction outside [0, 1]
+///   EPP-WKL-004 (warning) empty workload (zero clients; the layered
+///                         model cannot be built for it)
+void lint_workload(const WorkloadSpec& workload,
+                   const lint::SourceLocation& where,
+                   lint::Diagnostics& diagnostics);
+
 /// Service-boundary validation: negative or non-finite client counts,
 /// non-finite or negative think times (and hence any buy fraction outside
 /// [0, 1]) throw core::InvalidWorkloadError with the offending field in
-/// the message. Every prediction entry point that accepts caller-supplied
-/// workloads calls this before touching a model.
+/// the message. Implemented on top of lint_workload (first error-severity
+/// finding wins). Every prediction entry point that accepts
+/// caller-supplied workloads calls this before touching a model.
 void validate_workload(const WorkloadSpec& workload);
 
 /// Build the layered queuing model of the case study: browse/buy client

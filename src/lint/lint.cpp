@@ -1,0 +1,64 @@
+#include "lint/lint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace epp::lint {
+namespace {
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// First non-empty, non-comment line of the text.
+std::string first_payload_line(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line))
+    if (!line.empty() && line[0] != '#') return line;
+  return "";
+}
+
+}  // namespace
+
+ArtifactKind sniff_artifact(const std::string& path, const std::string& text) {
+  if (ends_with(path, ".epp")) return ArtifactKind::kBundle;
+  if (ends_with(path, ".lqn")) return ArtifactKind::kLqnModel;
+  // Extension didn't decide; let the content. Bundles always open with
+  // their versioned header, LQN models with one of four declarations.
+  const std::string head = first_payload_line(text);
+  if (head.rfind("epp-bundle", 0) == 0) return ArtifactKind::kBundle;
+  for (const char* decl : {"processor ", "task ", "entry ", "call "})
+    if (head.rfind(decl, 0) == 0) return ArtifactKind::kLqnModel;
+  return ArtifactKind::kUnknown;
+}
+
+void lint_artifact_file(const std::string& path, Diagnostics& diagnostics) {
+  std::ifstream in(path);
+  if (!in) {
+    diagnostics.error("EPP-IO-001", {path, 0}, "cannot read file");
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  switch (sniff_artifact(path, text)) {
+    case ArtifactKind::kBundle:
+      lint_bundle_text(text, path, diagnostics);
+      return;
+    case ArtifactKind::kLqnModel:
+      lint_lqn_text(text, path, diagnostics);
+      return;
+    case ArtifactKind::kUnknown:
+      diagnostics.error("EPP-IO-001", {path, 0},
+                        "cannot tell what kind of artifact this is",
+                        "bundles start with 'epp-bundle v1'; LQN models "
+                        "with processor/task/entry/call declarations; "
+                        "or name the file *.epp / *.lqn");
+      return;
+  }
+}
+
+}  // namespace epp::lint

@@ -1,0 +1,204 @@
+// EPP-BND-* semantic rules. Structure (001..006) is checked by
+// calib::parse_bundle_text; these rules interrogate the *fitted
+// parameters* a structurally-valid artifact carries, against what the
+// paper's relationships say calibration must have produced. The
+// directions in EPP-BND-011 follow relationship 2 as actually fitted on
+// the testbed: a faster server (higher max throughput) has a *smaller*
+// lower-equation intercept cL and a *smaller* upper-equation slope
+// lambdaU (lambdaU * max-throughput is roughly constant).
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "calib/bundle.hpp"
+#include "hydra/model.hpp"
+#include "hydra/relationships.hpp"
+#include "lint/lint.hpp"
+
+namespace epp::lint {
+namespace {
+
+/// The paper's client think time (seconds); the gradient m is the slope
+/// of throughput in clients, which first-order queueing says is about
+/// 1/think-time while the server is unsaturated.
+constexpr double kPaperThinkTimeS = 7.0;
+
+SourceLocation server_location(const std::string& file,
+                               const calib::BundleParseInfo& info,
+                               const std::string& name) {
+  if (const auto it = info.server_lines.find(name);
+      it != info.server_lines.end())
+    return {file, it->second};
+  return {file, 0};
+}
+
+void check_relationship1(const calib::CalibrationBundle& bundle,
+                         const std::string& file,
+                         const calib::BundleParseInfo& info,
+                         Diagnostics& diagnostics) {
+  for (const std::string& which : {std::string("mean"), std::string("p90")}) {
+    const hydra::HistoricalModel& model =
+        which == "mean" ? bundle.mean_model : bundle.p90_model;
+    const SourceLocation block{
+        file, which == "mean" ? info.mean_model_line : info.p90_model_line};
+    for (const std::string& name : model.servers()) {
+      const hydra::Relationship1& rel = model.server(name);
+      const auto bad = [&](const std::string& param, double value) {
+        diagnostics.error("EPP-BND-010", block,
+                          which + " model, server '" + name + "': " + param +
+                              " = " + fmt_value(value) +
+                              " is not a plausible fit",
+                          "re-run calibration; hand-edited parameters "
+                          "rarely keep the curve monotone");
+      };
+      if (!std::isfinite(rel.c_lower) || rel.c_lower <= 0.0)
+        bad("c_lower", rel.c_lower);
+      if (!std::isfinite(rel.lambda_lower) || rel.lambda_lower < 0.0)
+        bad("lambda_lower", rel.lambda_lower);
+      if (!std::isfinite(rel.lambda_upper) || rel.lambda_upper <= 0.0)
+        bad("lambda_upper", rel.lambda_upper);
+      if (!std::isfinite(rel.c_upper)) bad("c_upper", rel.c_upper);
+      if (!std::isfinite(rel.max_throughput_rps) ||
+          rel.max_throughput_rps <= 0.0)
+        bad("max_throughput_rps", rel.max_throughput_rps);
+      if (!std::isfinite(rel.gradient_m) || rel.gradient_m <= 0.0)
+        bad("gradient_m", rel.gradient_m);
+      if (!(rel.transition_lo > 0.0) || !(rel.transition_hi > rel.transition_lo))
+        diagnostics.error("EPP-BND-010", block,
+                          which + " model, server '" + name +
+                              "': transition band [" +
+                              fmt_value(rel.transition_lo) + ", " +
+                              fmt_value(rel.transition_hi) +
+                              "] is not an increasing positive interval");
+    }
+  }
+}
+
+void check_monotonicity(const calib::CalibrationBundle& bundle,
+                        const std::string& file,
+                        const calib::BundleParseInfo& info,
+                        Diagnostics& diagnostics) {
+  const hydra::HistoricalModel& model = bundle.mean_model;
+  std::vector<std::string> established = model.established_servers();
+  if (established.size() < 2) return;  // EPP-BND-013's business
+  std::sort(established.begin(), established.end(),
+            [&](const std::string& a, const std::string& b) {
+              return model.server(a).max_throughput_rps <
+                     model.server(b).max_throughput_rps;
+            });
+  for (std::size_t i = 1; i < established.size(); ++i) {
+    const hydra::Relationship1& slow = model.server(established[i - 1]);
+    const hydra::Relationship1& fast = model.server(established[i]);
+    const SourceLocation where =
+        server_location(file, info, established[i]);
+    if (fast.c_lower >= slow.c_lower)
+      diagnostics.warning(
+          "EPP-BND-011", where,
+          "c_lower does not decrease with max throughput: '" +
+              established[i] + "' (" + fmt_value(fast.c_lower) +
+              ") >= '" + established[i - 1] + "' (" +
+              fmt_value(slow.c_lower) + ")",
+          "relationship 2 expects faster servers to respond faster at "
+          "light load; the cross-server extrapolation will be poor");
+    if (fast.lambda_upper >= slow.lambda_upper)
+      diagnostics.warning(
+          "EPP-BND-011", where,
+          "lambda_upper does not decrease with max throughput: '" +
+              established[i] + "' (" + fmt_value(fast.lambda_upper) +
+              ") >= '" + established[i - 1] + "' (" +
+              fmt_value(slow.lambda_upper) + ")",
+          "lambda_upper scales as 1/max-throughput across servers");
+  }
+}
+
+void check_gradient(const calib::CalibrationBundle& bundle,
+                    const std::string& file,
+                    const calib::BundleParseInfo& info,
+                    Diagnostics& diagnostics) {
+  if (!(bundle.gradient_m > 0.0)) return;  // structural rules reported it
+  const double product = bundle.gradient_m * kPaperThinkTimeS;
+  if (product < 0.1 || product > 10.0)
+    diagnostics.warning(
+        "EPP-BND-012", {file, info.gradient_line},
+        "gradient m = " + fmt_value(bundle.gradient_m) +
+            " is implausible against a " + fmt_value(kPaperThinkTimeS) +
+            " s think time (m*think = " + fmt_value(product) + ")",
+        "unsaturated closed clients give m of about 1/think-time "
+        "(the paper's 0.14); check the calibration run");
+}
+
+void check_provenance(const calib::CalibrationBundle& bundle,
+                      const std::string& file,
+                      const calib::BundleParseInfo& info,
+                      Diagnostics& diagnostics) {
+  std::size_t established = 0;
+  for (const calib::ServerRecord& record : bundle.servers)
+    if (record.established) ++established;
+  if (established < 2)
+    diagnostics.error(
+        "EPP-BND-013", {file, 0},
+        "only " + std::to_string(established) +
+            " established server(s) in the catalog",
+        "the relationship-2 cross-server fit needs at least two "
+        "established servers");
+  if (!info.have_seeds)
+    diagnostics.warning("EPP-BND-015", {file, 0},
+                        "no seeds record: run provenance is lost",
+                        "artifacts written by epp_calibrate carry the "
+                        "seeds the pipeline drew from");
+}
+
+void check_catalog_agreement(const calib::CalibrationBundle& bundle,
+                             const std::string& file,
+                             const calib::BundleParseInfo& info,
+                             Diagnostics& diagnostics) {
+  for (const calib::ServerRecord& record : bundle.servers) {
+    if (!bundle.mean_model.has_server(record.name)) {
+      diagnostics.warning("EPP-BND-014",
+                          server_location(file, info, record.name),
+                          "server '" + record.name +
+                              "' has no fit in the embedded mean model");
+      continue;
+    }
+    const double fitted =
+        bundle.mean_model.server(record.name).max_throughput_rps;
+    const double recorded = record.max_throughput_rps;
+    if (!(recorded > 0.0) || !(fitted > 0.0)) continue;  // EPP-BND-010/002
+    const double ratio = fitted / recorded;
+    if (ratio < 0.99 || ratio > 1.01)
+      diagnostics.warning(
+          "EPP-BND-014", server_location(file, info, record.name),
+          "catalog max throughput for '" + record.name + "' (" +
+              fmt_value(recorded) +
+              ") disagrees with the embedded mean model (" +
+              fmt_value(fitted) + ")",
+          "the catalog record and the fit come from the same benchmark; "
+          "a mismatch means records from different runs were mixed");
+  }
+}
+
+}  // namespace
+
+void lint_bundle_text(const std::string& text, const std::string& file,
+                      Diagnostics& diagnostics) {
+  Diagnostics structural;
+  calib::BundleParseInfo info;
+  const calib::CalibrationBundle bundle =
+      calib::parse_bundle_text(text, file, structural, &info);
+  const bool trustworthy = !structural.has_errors();
+  for (const Diagnostic& diagnostic : structural.all())
+    diagnostics.add(diagnostic);
+  // Semantic rules interrogate fitted parameters; on a partial parse
+  // they would chase default-constructed models and drown the real
+  // finding in noise.
+  if (!trustworthy) return;
+  check_relationship1(bundle, file, info, diagnostics);
+  check_monotonicity(bundle, file, info, diagnostics);
+  check_gradient(bundle, file, info, diagnostics);
+  check_provenance(bundle, file, info, diagnostics);
+  check_catalog_agreement(bundle, file, info, diagnostics);
+}
+
+}  // namespace epp::lint

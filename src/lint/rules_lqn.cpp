@@ -1,0 +1,320 @@
+// EPP-LQN-* rules. Model::validate() throws on the *first* structural
+// problem; these rules walk the same structures but collect everything,
+// add the softer findings validate() has no severity lattice for
+// (unreachable tasks, saturated pools, branch-probability sums), and
+// point each finding at the declaring source line when the text was
+// parsed here.
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "lqn/parser.hpp"
+
+namespace epp::lint {
+namespace {
+
+SourceLocation locate_task(const std::string& file, const LqnSourceIndex* index,
+                           const std::string& name) {
+  if (index != nullptr)
+    if (const auto it = index->task_lines.find(name);
+        it != index->task_lines.end())
+      return {file, it->second};
+  return {file, 0};
+}
+
+SourceLocation locate_entry(const std::string& file,
+                            const LqnSourceIndex* index,
+                            const std::string& name) {
+  if (index != nullptr)
+    if (const auto it = index->entry_lines.find(name);
+        it != index->entry_lines.end())
+      return {file, it->second};
+  return {file, 0};
+}
+
+/// DFS colouring for cycle detection over the entry call graph.
+enum class Visit { kWhite, kGray, kBlack };
+
+bool find_cycle(const lqn::Model& model, lqn::EntryId entry,
+                std::vector<Visit>& state, std::vector<lqn::EntryId>& path) {
+  state[entry] = Visit::kGray;
+  path.push_back(entry);
+  for (const lqn::Call& call : model.entry(entry).calls) {
+    if (state[call.target] == Visit::kGray) {
+      path.push_back(call.target);
+      return true;
+    }
+    if (state[call.target] == Visit::kWhite &&
+        find_cycle(model, call.target, state, path))
+      return true;
+  }
+  path.pop_back();
+  state[entry] = Visit::kBlack;
+  return false;
+}
+
+void check_calls(const lqn::Model& model, const std::string& file,
+                 Diagnostics& diagnostics, const LqnSourceIndex* index) {
+  for (const lqn::Entry& entry : model.entries()) {
+    const SourceLocation where = locate_entry(file, index, entry.name);
+    if (!std::isfinite(entry.service_demand_s) || entry.service_demand_s < 0.0)
+      diagnostics.error("EPP-LQN-005", where,
+                        "entry '" + entry.name + "' has demand " +
+                            fmt_value(entry.service_demand_s),
+                        "demands are mean seconds of host service and must "
+                        "be finite and non-negative");
+    double branch_sum = 0.0;
+    bool branch_like = !entry.calls.empty();
+    for (const lqn::Call& call : entry.calls) {
+      const lqn::Entry& target = model.entry(call.target);
+      if (!std::isfinite(call.mean_calls) || call.mean_calls < 0.0)
+        diagnostics.error("EPP-LQN-005", where,
+                          "call " + entry.name + " -> " + target.name +
+                              " has mean " + fmt_value(call.mean_calls),
+                          "mean call counts must be finite and non-negative");
+      if (target.task == entry.task)
+        diagnostics.error("EPP-LQN-012", where,
+                          "call " + entry.name + " -> " + target.name +
+                              " stays inside task '" +
+                              model.task(entry.task).name + "'",
+                          "synchronous calls must descend to a lower layer");
+      if (model.task(target.task).is_reference &&
+          !model.task(entry.task).is_reference)
+        diagnostics.error("EPP-LQN-012", where,
+                          "call " + entry.name + " -> " + target.name +
+                              " ascends into reference task '" +
+                              model.task(target.task).name + "'");
+      if (call.mean_calls > 1.0 || call.mean_calls <= 0.0) branch_like = false;
+      branch_sum += call.mean_calls;
+    }
+    if (branch_like && entry.calls.size() >= 2 && branch_sum > 1.0 + 1e-9)
+      diagnostics.warning(
+          "EPP-LQN-009", where,
+          "entry '" + entry.name + "' makes " +
+              std::to_string(entry.calls.size()) +
+              " sub-unit calls whose means sum to " +
+              fmt_value(branch_sum),
+          "if these model a probabilistic branch the probabilities "
+          "exceed 1; drop this hint if they are independent calls");
+    if (entry.calls.empty() && entry.service_demand_s == 0.0 &&
+        !model.task(entry.task).is_reference)
+      diagnostics.note("EPP-LQN-006", where,
+                       "entry '" + entry.name +
+                           "' has zero demand and makes no calls",
+                       "a no-op entry usually means a forgotten demand=");
+  }
+}
+
+void check_tasks(const lqn::Model& model, const std::string& file,
+                 Diagnostics& diagnostics, const LqnSourceIndex* index) {
+  bool any_reference = false;
+  for (const lqn::Task& task : model.tasks()) {
+    const SourceLocation where = locate_task(file, index, task.name);
+    if (task.is_reference) {
+      any_reference = true;
+      if (task.entries.size() != 1)
+        diagnostics.error("EPP-LQN-011", where,
+                          "reference task '" + task.name + "' has " +
+                              std::to_string(task.entries.size()) +
+                              " entries, wants exactly 1");
+      if (task.multiplicity != 1)
+        diagnostics.warning(
+            "EPP-LQN-008", where,
+            "reference task '" + task.name + "' declares multiplicity " +
+                std::to_string(task.multiplicity),
+            "client concurrency comes from population/rate; the "
+            "multiplicity is ignored");
+      if (task.open_arrivals) {
+        if (!std::isfinite(task.arrival_rate_rps) ||
+            task.arrival_rate_rps <= 0.0)
+          diagnostics.error("EPP-LQN-010", where,
+                            "open reference task '" + task.name +
+                                "' has arrival rate " +
+                                fmt_value(task.arrival_rate_rps),
+                            "open workloads want a finite positive rate=");
+      } else if (!std::isfinite(task.population) || task.population <= 0.0) {
+        diagnostics.error("EPP-LQN-010", where,
+                          "closed reference task '" + task.name +
+                              "' has population " +
+                              fmt_value(task.population),
+                          "closed workloads want a finite positive "
+                          "population=");
+      }
+      if (!std::isfinite(task.think_time_s) || task.think_time_s < 0.0)
+        diagnostics.error("EPP-LQN-010", where,
+                          "reference task '" + task.name +
+                              "' has think time " +
+                              fmt_value(task.think_time_s));
+    } else {
+      if (task.entries.empty())
+        diagnostics.error("EPP-LQN-011", where,
+                          "task '" + task.name + "' has no entries",
+                          "a server task without entries can never be "
+                          "called");
+      if (task.multiplicity == 0)
+        diagnostics.error("EPP-LQN-011", where,
+                          "task '" + task.name + "' has multiplicity 0");
+    }
+  }
+  if (!any_reference)
+    diagnostics.error("EPP-LQN-002", {file, 0},
+                      "no reference task drives the model",
+                      "declare a client task with 'ref population=N "
+                      "think=S' (or 'ref open rate=R')");
+}
+
+void check_reachability(const lqn::Model& model, const std::string& file,
+                        Diagnostics& diagnostics,
+                        const LqnSourceIndex* index) {
+  std::vector<bool> entry_seen(model.entries().size(), false);
+  std::vector<lqn::EntryId> stack;
+  for (const lqn::Task& task : model.tasks())
+    if (task.is_reference)
+      for (const lqn::EntryId entry : task.entries) {
+        entry_seen[entry] = true;
+        stack.push_back(entry);
+      }
+  while (!stack.empty()) {
+    const lqn::EntryId entry = stack.back();
+    stack.pop_back();
+    for (const lqn::Call& call : model.entry(entry).calls)
+      if (!entry_seen[call.target]) {
+        entry_seen[call.target] = true;
+        stack.push_back(call.target);
+      }
+  }
+  for (const lqn::Task& task : model.tasks()) {
+    if (task.is_reference) continue;
+    bool reachable = false;
+    for (const lqn::EntryId entry : task.entries)
+      if (entry_seen[entry]) reachable = true;
+    if (!reachable)
+      diagnostics.warning("EPP-LQN-004", locate_task(file, index, task.name),
+                          "task '" + task.name +
+                              "' is unreachable from every reference task",
+                          "no workload ever exercises it; dead model "
+                          "surface or a missing call");
+  }
+}
+
+void check_cycles(const lqn::Model& model, const std::string& file,
+                  Diagnostics& diagnostics, const LqnSourceIndex* index) {
+  std::vector<Visit> state(model.entries().size(), Visit::kWhite);
+  for (lqn::EntryId entry = 0; entry < model.entries().size(); ++entry) {
+    if (state[entry] != Visit::kWhite) continue;
+    std::vector<lqn::EntryId> path;
+    if (!find_cycle(model, entry, state, path)) continue;
+    // path ends with [.., first-repeated, .., first-repeated]; print the
+    // loop segment only.
+    const lqn::EntryId repeated = path.back();
+    std::string loop;
+    bool in_loop = false;
+    for (const lqn::EntryId id : path) {
+      if (id == repeated && !in_loop) in_loop = true;
+      if (!in_loop) continue;
+      if (!loop.empty()) loop += " -> ";
+      loop += model.entry(id).name;
+    }
+    diagnostics.error("EPP-LQN-003",
+                      locate_entry(file, index, model.entry(repeated).name),
+                      "call cycle: " + loop,
+                      "synchronous rendezvous deadlocks on a cycle; the "
+                      "call graph must be layered");
+    return;  // one cycle report is enough; fixing it re-lints
+  }
+}
+
+void check_saturation(const lqn::Model& model, const std::string& file,
+                      Diagnostics& diagnostics, const LqnSourceIndex* index) {
+  for (const lqn::Task& task : model.tasks()) {
+    if (!task.is_reference || task.open_arrivals) continue;
+    if (!(task.population > 0.0)) continue;
+    // Walk everything this class can reach; a pool smaller than the
+    // population is a (deliberate, in the paper's setup) saturation point
+    // worth surfacing.
+    std::vector<bool> seen(model.entries().size(), false);
+    std::vector<lqn::EntryId> stack(task.entries.begin(), task.entries.end());
+    for (const lqn::EntryId e : stack) seen[e] = true;
+    while (!stack.empty()) {
+      const lqn::EntryId entry = stack.back();
+      stack.pop_back();
+      for (const lqn::Call& call : model.entry(entry).calls)
+        if (!seen[call.target]) {
+          seen[call.target] = true;
+          stack.push_back(call.target);
+        }
+    }
+    for (const lqn::Task& served : model.tasks()) {
+      if (served.is_reference || served.multiplicity == 0) continue;
+      bool touched = false;
+      for (const lqn::EntryId entry : served.entries)
+        if (seen[entry]) touched = true;
+      if (touched &&
+          task.population > static_cast<double>(served.multiplicity))
+        diagnostics.note(
+            "EPP-LQN-007", locate_task(file, index, served.name),
+            "population " + fmt_value(task.population) + " of '" +
+                task.name + "' exceeds the " +
+                std::to_string(served.multiplicity) + "-wide pool of '" +
+                served.name + "'",
+            "expected when probing saturation; requests past the pool "
+            "width queue");
+    }
+  }
+}
+
+}  // namespace
+
+void lint_lqn_model(const lqn::Model& model, const std::string& file,
+                    Diagnostics& diagnostics, const LqnSourceIndex* index) {
+  check_tasks(model, file, diagnostics, index);
+  check_calls(model, file, diagnostics, index);
+  check_cycles(model, file, diagnostics, index);
+  check_reachability(model, file, diagnostics, index);
+  check_saturation(model, file, diagnostics, index);
+}
+
+void lint_lqn_text(const std::string& text, const std::string& file,
+                   Diagnostics& diagnostics) {
+  lqn::Model model;
+  try {
+    model = lqn::parse_model(text);
+  } catch (const std::invalid_argument& error) {
+    // Parser messages read "lqn parse error, line N: ..."; lift the line
+    // number into the location and keep the tail as the finding.
+    const std::string what = error.what();
+    const std::string prefix = "lqn parse error, line ";
+    int line = 0;
+    std::string message = what;
+    if (what.rfind(prefix, 0) == 0) {
+      std::istringstream tail(what.substr(prefix.size()));
+      tail >> line;
+      tail.ignore(2);  // ": "
+      std::getline(tail, message);
+    }
+    diagnostics.error("EPP-LQN-001", {file, line}, message);
+    return;
+  }
+
+  // Index declaration lines so semantic findings are clickable.
+  LqnSourceIndex index;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind, name;
+    if (!(ls >> kind >> name)) continue;
+    if (kind == "task") index.task_lines.emplace(name, line_no);
+    if (kind == "entry") index.entry_lines.emplace(name, line_no);
+  }
+  lint_lqn_model(model, file, diagnostics, &index);
+}
+
+}  // namespace epp::lint

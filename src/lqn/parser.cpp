@@ -157,6 +157,11 @@ Model parse_model(std::istream& input) {
     if (!from) fail(call.line, "unknown entry '" + call.from + "'");
     const auto to = model.find_entry(call.to);
     if (!to) fail(call.line, "unknown entry '" + call.to + "'");
+    // Checked here rather than left to Model::add_call so the error
+    // carries the declaring line.
+    if (call.mean < 0.0)
+      fail(call.line, "call mean must be non-negative, got " +
+                          std::to_string(call.mean));
     model.add_call(*from, *to, call.mean);
   }
   return model;

@@ -1,6 +1,8 @@
 #include "svc/fault.hpp"
 
+#include <array>
 #include <cmath>
+#include <cstddef>
 #include <sstream>
 #include <vector>
 
@@ -66,53 +68,117 @@ bool FaultConfig::any() const noexcept {
   return false;
 }
 
-FaultConfig parse_fault_spec(const std::string& spec) {
+FaultConfig lint_fault_spec(const std::string& spec,
+                            const lint::SourceLocation& where,
+                            lint::Diagnostics& diagnostics) {
   FaultConfig config;
+  // (method, knob) assignment tracking for the duplicate rule: index 0/1 =
+  // fail / latency-ms per method in FaultConfig declaration order.
+  constexpr std::size_t kKnobs = 2;
+  constexpr std::array<Method, 3> kMethods{Method::kHistorical, Method::kLqn,
+                                           Method::kHybrid};
+  std::array<bool, 3 * kKnobs> assigned{};
+  const auto knob_index = [&](Method method, std::size_t knob) {
+    return static_cast<std::size_t>(method) * kKnobs + knob;
+  };
+
   for (const std::string& clause : split(spec, ';')) {
     const auto colon = clause.find(':');
-    if (colon == std::string::npos)
-      throw std::invalid_argument("fault spec clause '" + clause +
-                                  "' wants target:knob[,knob...]");
+    if (colon == std::string::npos) {
+      diagnostics.error("EPP-FLT-001", where,
+                        "clause '" + clause + "' wants target:knob[,knob...]",
+                        "write e.g. 'lqn:fail=0.3,latency-ms=20'");
+      continue;
+    }
     const std::string target = clause.substr(0, colon);
-    std::vector<MethodFaults*> targets;
+    std::vector<Method> methods;
     if (target == "*") {
-      targets = {&config.historical, &config.lqn, &config.hybrid};
+      methods.assign(kMethods.begin(), kMethods.end());
     } else {
-      targets = {&config.for_method(method_from_name(target))};
+      try {
+        methods = {method_from_name(target)};
+      } catch (const std::invalid_argument&) {
+        diagnostics.error("EPP-FLT-002", where,
+                          "unknown target '" + target + "'",
+                          "targets are historical, lqn, hybrid or '*'");
+        continue;
+      }
     }
     const auto knobs = split(clause.substr(colon + 1), ',');
-    if (knobs.empty())
-      throw std::invalid_argument("fault spec clause '" + clause +
-                                  "' has no knobs");
+    if (knobs.empty()) {
+      diagnostics.error("EPP-FLT-001", where,
+                        "clause '" + clause + "' has no knobs",
+                        "append fail=P and/or latency-ms=MS");
+      continue;
+    }
     for (const std::string& knob : knobs) {
       const auto eq = knob.find('=');
-      if (eq == std::string::npos)
-        throw std::invalid_argument("fault spec knob '" + knob +
-                                    "' wants name=value");
+      if (eq == std::string::npos) {
+        diagnostics.error("EPP-FLT-001", where,
+                          "knob '" + knob + "' wants name=value");
+        continue;
+      }
       const std::string name = knob.substr(0, eq);
+      std::size_t knob_slot = 0;
+      if (name == "fail") {
+        knob_slot = 0;
+      } else if (name == "latency-ms") {
+        knob_slot = 1;
+      } else {
+        diagnostics.error("EPP-FLT-002", where,
+                          "unknown knob '" + name + "'",
+                          "knobs are fail=P and latency-ms=MS");
+        continue;
+      }
       double value = 0.0;
       try {
         value = std::stod(knob.substr(eq + 1));
       } catch (const std::exception&) {
-        throw std::invalid_argument("fault spec knob '" + knob +
-                                    "' has a non-numeric value");
+        diagnostics.error("EPP-FLT-003", where,
+                          "knob '" + knob + "' has a non-numeric value");
+        continue;
       }
-      if (!std::isfinite(value) || value < 0.0)
-        throw std::invalid_argument("fault spec knob '" + knob +
-                                    "' wants a finite non-negative value");
-      if (name == "fail") {
-        if (value > 1.0)
-          throw std::invalid_argument("fault spec: fail probability '" + knob +
-                                      "' exceeds 1");
-        for (MethodFaults* faults : targets) faults->fail_probability = value;
-      } else if (name == "latency-ms") {
-        for (MethodFaults* faults : targets) faults->latency_s = value / 1e3;
-      } else {
-        throw std::invalid_argument("fault spec: unknown knob '" + name +
-                                    "' (want fail or latency-ms)");
+      if (!std::isfinite(value) || value < 0.0) {
+        diagnostics.error("EPP-FLT-003", where,
+                          "knob '" + knob +
+                              "' wants a finite non-negative value");
+        continue;
+      }
+      if (knob_slot == 0 && value > 1.0) {
+        diagnostics.error("EPP-FLT-003", where,
+                          "fail probability '" + knob + "' exceeds 1");
+        continue;
+      }
+      for (const Method method : methods) {
+        if (assigned[knob_index(method, knob_slot)]) {
+          diagnostics.error(
+              "EPP-FLT-004", where,
+              "duplicate '" + name + "' assignment for " +
+                  std::string(method_name(method)) + " in clause '" + clause +
+                  "'",
+              "each method takes one '" + name +
+                  "' assignment; the '*' target expands to all three methods");
+          continue;
+        }
+        assigned[knob_index(method, knob_slot)] = true;
+        MethodFaults& faults = config.for_method(method);
+        if (knob_slot == 0) {
+          faults.fail_probability = value;
+        } else {
+          faults.latency_s = value / 1e3;
+        }
       }
     }
   }
+  return config;
+}
+
+FaultConfig parse_fault_spec(const std::string& spec) {
+  lint::Diagnostics diagnostics;
+  FaultConfig config = lint_fault_spec(spec, {}, diagnostics);
+  if (const lint::Diagnostic* first =
+          diagnostics.first_at_least(lint::Severity::kError))
+    throw std::invalid_argument("fault spec: " + first->message);
   return config;
 }
 

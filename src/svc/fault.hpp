@@ -21,7 +21,11 @@
 //   clause  := target ':' knob (',' knob)*
 //   target  := 'historical' | 'lqn' | 'hybrid' | '*'
 //   knob    := 'fail=' P | 'latency-ms=' MS
-// e.g. "lqn:fail=0.3,latency-ms=20;*:fail=0.05".
+// e.g. "lqn:fail=0.3,latency-ms=20;historical:latency-ms=5". The '*'
+// target expands to all three methods; assigning the same knob to the
+// same method twice (directly or through '*') is rejected — the old
+// grammar silently kept the last assignment, which made overlapping
+// specs order-dependent.
 #pragma once
 
 #include <atomic>
@@ -33,6 +37,7 @@
 #include <string>
 #include <utility>
 
+#include "lint/diagnostic.hpp"
 #include "svc/prediction_cache.hpp"
 
 namespace epp::svc {
@@ -67,8 +72,22 @@ struct FaultConfig {
   bool any() const noexcept;
 };
 
+/// Rule-coded fault-spec lint (the EPP-FLT-* rules): parse `spec`,
+/// appending every finding to `diagnostics` at `where` and skipping the
+/// offending clause. This is the single source of truth for the grammar;
+/// parse_fault_spec and tools/epp_lint both run it.
+///   EPP-FLT-001 (error) malformed clause or knob shape
+///   EPP-FLT-002 (error) unknown target or knob name
+///   EPP-FLT-003 (error) knob value out of range (non-numeric,
+///                       non-finite, negative, fail > 1)
+///   EPP-FLT-004 (error) duplicate knob assignment for a method
+///                       (directly or through the '*' target)
+FaultConfig lint_fault_spec(const std::string& spec,
+                            const lint::SourceLocation& where,
+                            lint::Diagnostics& diagnostics);
+
 /// Parse the --fault-spec grammar above; throws std::invalid_argument
-/// with the offending clause on malformed input.
+/// with the first lint_fault_spec finding on malformed input.
 FaultConfig parse_fault_spec(const std::string& spec);
 
 class FaultInjector {

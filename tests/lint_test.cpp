@@ -1,0 +1,427 @@
+// The lint subsystem: the diagnostic engine, the EPP-* rule library and
+// the artifact dispatcher.
+//
+// The heart of this suite is the golden corpus under tests/lint_corpus:
+// every defective artifact there was written to trip exactly one rule,
+// and the table below pins the rule ID, severity and source line the
+// linter must report for it. The clean corpus pins the other direction —
+// calibration-pipeline output must produce zero findings, so the rules
+// can gate epp_sweep/epp_calibrate runs without false positives.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "calib/bundle.hpp"
+#include "core/errors.hpp"
+#include "core/trade_model.hpp"
+#include "lint/diagnostic.hpp"
+#include "lint/lint.hpp"
+#include "svc/fault.hpp"
+
+namespace epp {
+namespace {
+
+using lint::Diagnostic;
+using lint::Diagnostics;
+using lint::Severity;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// --- the diagnostic engine -------------------------------------------------
+
+TEST(DiagnosticEngine, SeverityOrderingAndExitCodes) {
+  Diagnostics clean;
+  EXPECT_EQ(lint::exit_code(clean), 0);
+
+  Diagnostics notes;
+  notes.note("EPP-LQN-007", {"m.lqn", 3}, "saturated");
+  EXPECT_EQ(lint::exit_code(notes), 0);
+
+  Diagnostics warnings;
+  warnings.note("EPP-LQN-007", {"m.lqn", 3}, "saturated");
+  warnings.warning("EPP-LQN-004", {"m.lqn", 5}, "unreachable");
+  EXPECT_EQ(lint::exit_code(warnings), 1);
+  EXPECT_FALSE(warnings.has_errors());
+
+  Diagnostics errors;
+  errors.warning("EPP-LQN-004", {"m.lqn", 5}, "unreachable");
+  errors.error("EPP-LQN-003", {"m.lqn", 9}, "cycle");
+  EXPECT_EQ(lint::exit_code(errors), 2);
+  EXPECT_TRUE(errors.has_errors());
+  EXPECT_EQ(errors.count(Severity::kError), 1u);
+  EXPECT_EQ(errors.count(Severity::kWarning), 1u);
+}
+
+TEST(DiagnosticEngine, FirstAtLeastScansInEmissionOrder) {
+  Diagnostics diagnostics;
+  diagnostics.note("A", {"f", 1}, "first note");
+  diagnostics.warning("B", {"f", 2}, "first warning");
+  diagnostics.error("C", {"f", 3}, "first error");
+  diagnostics.error("D", {"f", 4}, "second error");
+  EXPECT_EQ(diagnostics.first_at_least(Severity::kNote)->rule, "A");
+  EXPECT_EQ(diagnostics.first_at_least(Severity::kWarning)->rule, "B");
+  EXPECT_EQ(diagnostics.first_at_least(Severity::kError)->rule, "C");
+  Diagnostics only_notes;
+  only_notes.note("A", {"f", 1}, "note");
+  EXPECT_EQ(only_notes.first_at_least(Severity::kWarning), nullptr);
+}
+
+TEST(DiagnosticEngine, SortByLocationIsStablePerLine) {
+  Diagnostics diagnostics;
+  diagnostics.error("LATE", {"b.lqn", 9}, "late file");
+  diagnostics.error("SECOND", {"a.lqn", 4}, "same line, added second");
+  diagnostics.error("FIRST", {"a.lqn", 4}, "same line, added first");
+  diagnostics.sort_by_location();
+  ASSERT_EQ(diagnostics.size(), 3u);
+  EXPECT_EQ(diagnostics.all()[0].rule, "SECOND");  // emission order kept
+  EXPECT_EQ(diagnostics.all()[1].rule, "FIRST");
+  EXPECT_EQ(diagnostics.all()[2].rule, "LATE");
+}
+
+TEST(DiagnosticEngine, TextRenderingIsCompilerStyle) {
+  Diagnostics diagnostics;
+  diagnostics.error("EPP-BND-001", {"trade.epp", 1}, "bad header", "fix me");
+  diagnostics.warning("EPP-BND-015", {"trade.epp", 0}, "no seeds");
+  const std::string text = lint::render_text(diagnostics);
+  EXPECT_NE(text.find("trade.epp:1: error: [EPP-BND-001] bad header"),
+            std::string::npos);
+  EXPECT_NE(text.find("    fix-it: fix me"), std::string::npos);
+  // line 0 findings carry the file but no line component
+  EXPECT_NE(text.find("trade.epp: warning: [EPP-BND-015] no seeds"),
+            std::string::npos);
+}
+
+TEST(DiagnosticEngine, JsonRenderingEscapesAndRoundTrips) {
+  Diagnostics diagnostics;
+  diagnostics.error("EPP-FLT-001", {"<spec>", 0},
+                    "clause 'a\"b\\c' wants target:knob", "tab\there");
+  const std::string json = lint::render_json(diagnostics);
+  EXPECT_NE(json.find("\"rule\": \"EPP-FLT-001\""), std::string::npos);
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 0"), std::string::npos);
+}
+
+TEST(DiagnosticEngine, FmtValueUsesDefaultPrecision) {
+  EXPECT_EQ(lint::fmt_value(500.0), "500");
+  EXPECT_EQ(lint::fmt_value(1.14), "1.14");
+  EXPECT_EQ(lint::fmt_value(-0.5), "-0.5");
+}
+
+// --- golden corpus: one defective artifact per rule ------------------------
+
+struct GoldenCase {
+  const char* file;       // relative to tests/lint_corpus
+  const char* rule;       // the rule the artifact was written to trip
+  Severity severity;      // at which severity
+  int line;               // on which line (0 = whole artifact)
+  int expected_exit;      // tool exit code for the file
+};
+
+class LintCorpus : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(LintCorpus, FlagsExpectedRuleAtExpectedLocation) {
+  const GoldenCase& golden = GetParam();
+  const std::string path =
+      std::string(EPP_LINT_CORPUS_DIR) + "/" + golden.file;
+  Diagnostics diagnostics;
+  lint::lint_artifact_file(path, diagnostics);
+
+  const Diagnostic* match = nullptr;
+  for (const Diagnostic& diagnostic : diagnostics.all())
+    if (diagnostic.rule == golden.rule) match = &diagnostic;
+  ASSERT_NE(match, nullptr)
+      << golden.file << " did not trip " << golden.rule << "; got:\n"
+      << lint::render_text(diagnostics);
+  EXPECT_EQ(match->severity, golden.severity) << golden.file;
+  EXPECT_EQ(match->location.line, golden.line) << golden.file;
+  EXPECT_EQ(match->location.file, path) << golden.file;
+  EXPECT_EQ(lint::exit_code(diagnostics), golden.expected_exit)
+      << golden.file << " findings:\n"
+      << lint::render_text(diagnostics);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bundles, LintCorpus,
+    ::testing::Values(
+        GoldenCase{"bundles/bad_header.epp", "EPP-BND-001", Severity::kError,
+                   1, 2},
+        GoldenCase{"bundles/malformed_gradient.epp", "EPP-BND-002",
+                   Severity::kError, 3, 2},
+        GoldenCase{"bundles/duplicate_gradient.epp", "EPP-BND-003",
+                   Severity::kError, 4, 2},
+        GoldenCase{"bundles/duplicate_server.epp", "EPP-BND-003",
+                   Severity::kError, 7, 2},
+        GoldenCase{"bundles/missing_gradient.epp", "EPP-BND-004",
+                   Severity::kError, 0, 2},
+        GoldenCase{"bundles/truncated_model.epp", "EPP-BND-005",
+                   Severity::kError, 18, 2},
+        GoldenCase{"bundles/gradient_mismatch.epp", "EPP-BND-006",
+                   Severity::kError, 3, 2},
+        GoldenCase{"bundles/nonmonotonic.epp", "EPP-BND-011",
+                   Severity::kWarning, 7, 1},
+        GoldenCase{"bundles/implausible_gradient.epp", "EPP-BND-012",
+                   Severity::kWarning, 3, 1},
+        GoldenCase{"bundles/single_established.epp", "EPP-BND-013",
+                   Severity::kError, 0, 2},
+        GoldenCase{"bundles/catalog_mismatch.epp", "EPP-BND-014",
+                   Severity::kWarning, 6, 1},
+        GoldenCase{"bundles/no_seeds.epp", "EPP-BND-015", Severity::kWarning,
+                   0, 1}),
+    [](const auto& test_info) {
+      std::string name = test_info.param.rule;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name + "_" + std::to_string(test_info.param.line);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    LqnModels, LintCorpus,
+    ::testing::Values(
+        GoldenCase{"lqn/parse_error.lqn", "EPP-LQN-001", Severity::kError, 2,
+                   2},
+        GoldenCase{"lqn/no_ref.lqn", "EPP-LQN-002", Severity::kError, 0, 2},
+        GoldenCase{"lqn/cycle.lqn", "EPP-LQN-003", Severity::kError, 7, 2},
+        GoldenCase{"lqn/unreachable.lqn", "EPP-LQN-004", Severity::kWarning,
+                   5, 1},
+        GoldenCase{"lqn/negative_demand.lqn", "EPP-LQN-005", Severity::kError,
+                   6, 2},
+        GoldenCase{"lqn/zero_leaf.lqn", "EPP-LQN-006", Severity::kNote, 6, 0},
+        GoldenCase{"lqn/zero_leaf.lqn", "EPP-LQN-007", Severity::kNote, 4, 0},
+        GoldenCase{"lqn/ref_multiplicity.lqn", "EPP-LQN-008",
+                   Severity::kWarning, 3, 1},
+        GoldenCase{"lqn/branch_sum.lqn", "EPP-LQN-009", Severity::kWarning, 7,
+                   1},
+        GoldenCase{"lqn/bad_population.lqn", "EPP-LQN-010", Severity::kError,
+                   3, 2},
+        GoldenCase{"lqn/no_entries.lqn", "EPP-LQN-011", Severity::kError, 5,
+                   2},
+        GoldenCase{"lqn/self_call.lqn", "EPP-LQN-012", Severity::kError, 6,
+                   2}),
+    [](const auto& test_info) {
+      std::string name = test_info.param.rule;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name + "_" + std::to_string(test_info.param.line);
+    });
+
+// --- clean corpus: pipeline artifacts must not trip anything ---------------
+
+TEST(LintCleanCorpus, CalibratedBundleProducesZeroFindings) {
+  Diagnostics diagnostics;
+  lint::lint_artifact_file(std::string(EPP_LINT_CORPUS_DIR) +
+                               "/clean/trade.epp",
+                           diagnostics);
+  EXPECT_TRUE(diagnostics.empty()) << lint::render_text(diagnostics);
+}
+
+TEST(LintCleanCorpus, FreshlyCalibratedBundleTextProducesZeroFindings) {
+  // End to end: run the real calibration pipeline (mix skipped for
+  // speed) and lint what it would persist. This is the guarantee the
+  // epp_calibrate self-check and the epp_sweep pre-run gate rely on.
+  calib::CalibrationOptions options;
+  options.measure_mix = false;
+  const calib::CalibrationBundle bundle = calib::calibrate(options);
+  Diagnostics diagnostics;
+  lint::lint_bundle_text(calib::to_text(bundle), "fresh.epp", diagnostics);
+  EXPECT_TRUE(diagnostics.empty()) << lint::render_text(diagnostics);
+}
+
+TEST(LintCleanCorpus, TradeLqnModelExitsZero) {
+  // The paper's testbed model deliberately saturates its pools
+  // (population 500 against a 50-wide app pool), which is note-worthy
+  // but not wrong: nothing at warning severity or above.
+  Diagnostics diagnostics;
+  lint::lint_artifact_file(std::string(EPP_MODELS_DIR) + "/trade.lqn",
+                           diagnostics);
+  EXPECT_EQ(diagnostics.first_at_least(Severity::kWarning), nullptr)
+      << lint::render_text(diagnostics);
+  EXPECT_EQ(lint::exit_code(diagnostics), 0);
+}
+
+// --- dispatcher ------------------------------------------------------------
+
+TEST(LintDispatcher, SniffsByExtensionThenContent) {
+  EXPECT_EQ(lint::sniff_artifact("x.epp", ""), lint::ArtifactKind::kBundle);
+  EXPECT_EQ(lint::sniff_artifact("x.lqn", ""), lint::ArtifactKind::kLqnModel);
+  EXPECT_EQ(lint::sniff_artifact("x.txt", "epp-bundle v1\n"),
+            lint::ArtifactKind::kBundle);
+  EXPECT_EQ(lint::sniff_artifact("x.txt", "# comment\nprocessor cpu ps\n"),
+            lint::ArtifactKind::kLqnModel);
+  EXPECT_EQ(lint::sniff_artifact("x.txt", "what is this\n"),
+            lint::ArtifactKind::kUnknown);
+}
+
+TEST(LintDispatcher, UnreadableFileIsIo001) {
+  Diagnostics diagnostics;
+  lint::lint_artifact_file("/nonexistent/nowhere.epp", diagnostics);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics.all()[0].rule, "EPP-IO-001");
+  EXPECT_EQ(lint::exit_code(diagnostics), 2);
+}
+
+// --- workload rules (EPP-WKL-*) behind the legacy throwing wrapper ---------
+
+TEST(LintWorkload, CollectsEveryDefectInsteadOfThrowingFirst) {
+  core::WorkloadSpec workload;
+  workload.browse_clients = -1.0;
+  workload.buy_clients = -2.0;
+  workload.think_time_s = -3.0;
+  Diagnostics diagnostics;
+  core::lint_workload(workload, {"<grid>", 0}, diagnostics);
+  EXPECT_EQ(diagnostics.count(Severity::kError), 3u)
+      << lint::render_text(diagnostics);
+  bool saw_wkl1 = false, saw_wkl2 = false;
+  for (const Diagnostic& diagnostic : diagnostics.all()) {
+    if (diagnostic.rule == "EPP-WKL-001") saw_wkl1 = true;
+    if (diagnostic.rule == "EPP-WKL-002") saw_wkl2 = true;
+  }
+  EXPECT_TRUE(saw_wkl1);
+  EXPECT_TRUE(saw_wkl2);
+}
+
+TEST(LintWorkload, EmptyWorkloadIsAWarningOnlyWhenOtherwiseValid) {
+  core::WorkloadSpec empty;  // zero clients, valid fields
+  Diagnostics diagnostics;
+  core::lint_workload(empty, {}, diagnostics);
+  EXPECT_EQ(diagnostics.count(Severity::kWarning), 1u);
+  EXPECT_EQ(diagnostics.all()[0].rule, "EPP-WKL-004");
+
+  core::WorkloadSpec invalid;
+  invalid.browse_clients = -5.0;
+  Diagnostics other;
+  core::lint_workload(invalid, {}, other);
+  for (const Diagnostic& diagnostic : other.all())
+    EXPECT_NE(diagnostic.rule, "EPP-WKL-004")
+        << "the empty-workload hint should not pile onto invalid fields";
+}
+
+TEST(LintWorkload, ValidateWorkloadStillThrowsTypedError) {
+  core::WorkloadSpec workload;
+  workload.browse_clients = -1.0;
+  EXPECT_THROW(core::validate_workload(workload), core::InvalidWorkloadError);
+  try {
+    core::validate_workload(workload);
+  } catch (const core::InvalidWorkloadError& error) {
+    EXPECT_NE(std::string(error.what()).find("invalid workload"),
+              std::string::npos);
+  }
+}
+
+// --- fault-spec rules (EPP-FLT-*) ------------------------------------------
+
+TEST(LintFaultSpec, DuplicateKnobThroughStarIsAnError) {
+  // 'lqn:fail=0.3' plus '*:fail=0.05' assigns fail to lqn twice; the old
+  // parser silently kept the last assignment.
+  Diagnostics diagnostics;
+  svc::lint_fault_spec("lqn:fail=0.3;*:fail=0.05", {"<spec>", 0},
+                       diagnostics);
+  ASSERT_TRUE(diagnostics.has_errors());
+  EXPECT_EQ(diagnostics.first_at_least(Severity::kError)->rule,
+            "EPP-FLT-004");
+  EXPECT_THROW(svc::parse_fault_spec("lqn:fail=0.3;*:fail=0.05"),
+               std::invalid_argument);
+}
+
+TEST(LintFaultSpec, DirectDuplicateIsAnError) {
+  EXPECT_THROW(svc::parse_fault_spec("lqn:fail=0.1,fail=0.2"),
+               std::invalid_argument);
+  EXPECT_THROW(svc::parse_fault_spec("hybrid:latency-ms=1;hybrid:latency-ms=2"),
+               std::invalid_argument);
+}
+
+TEST(LintFaultSpec, DistinctKnobsAndTargetsStillCompose) {
+  const svc::FaultConfig config =
+      svc::parse_fault_spec("lqn:latency-ms=20;*:fail=0.05");
+  EXPECT_DOUBLE_EQ(config.lqn.latency_s, 0.02);
+  EXPECT_DOUBLE_EQ(config.lqn.fail_probability, 0.05);
+  EXPECT_DOUBLE_EQ(config.historical.fail_probability, 0.05);
+  EXPECT_DOUBLE_EQ(config.hybrid.fail_probability, 0.05);
+}
+
+TEST(LintFaultSpec, CollectsEveryClauseDefect) {
+  Diagnostics diagnostics;
+  svc::lint_fault_spec("turbo:fail=0.1;lqn:bogus=1;hybrid:fail=abc",
+                       {"<spec>", 0}, diagnostics);
+  EXPECT_EQ(diagnostics.count(Severity::kError), 3u)
+      << lint::render_text(diagnostics);
+}
+
+// --- bundle duplicate rejection through the legacy loader ------------------
+
+TEST(BundleLoader, DuplicateRecordsNowThrow) {
+  const std::string clean =
+      read_file(std::string(EPP_LINT_CORPUS_DIR) + "/clean/trade.epp");
+  EXPECT_NO_THROW(calib::bundle_from_text(clean));
+  const std::string duplicated =
+      read_file(std::string(EPP_LINT_CORPUS_DIR) +
+                "/bundles/duplicate_gradient.epp");
+  try {
+    calib::bundle_from_text(duplicated);
+    FAIL() << "duplicate gradient record was silently accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("epp bundle parse error, line 4"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+  }
+}
+
+TEST(BundleLoader, ParseInfoRecordsRecordLines) {
+  const std::string clean =
+      read_file(std::string(EPP_LINT_CORPUS_DIR) + "/clean/trade.epp");
+  Diagnostics diagnostics;
+  calib::BundleParseInfo info;
+  calib::parse_bundle_text(clean, "trade.epp", diagnostics, &info);
+  EXPECT_TRUE(diagnostics.empty()) << lint::render_text(diagnostics);
+  EXPECT_TRUE(info.have_seeds);
+  EXPECT_EQ(info.seeds_line, 2);
+  EXPECT_EQ(info.gradient_line, 3);
+  EXPECT_EQ(info.mean_model_line, 11);
+  EXPECT_EQ(info.p90_model_line, 18);
+  ASSERT_EQ(info.server_lines.size(), 3u);
+  EXPECT_EQ(info.server_lines.at("AppServF"), 6);
+}
+
+TEST(BundleLoader, RecoveryCollectsSeveralDefectsInOnePass) {
+  // One malformed record plus one duplicate: the old loader stopped at
+  // the first; parse_bundle_text reports both.
+  std::istringstream clean_stream(
+      read_file(std::string(EPP_LINT_CORPUS_DIR) + "/clean/trade.epp"));
+  std::ostringstream broken;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(clean_stream, line)) {
+    ++line_no;
+    if (line_no == 4) {
+      broken << "lqn-params browse not a number at all\n";
+      broken << line << '\n';  // keep the original so nothing is missing
+      broken << line << '\n';  // ...and duplicate it
+      continue;
+    }
+    broken << line << '\n';
+  }
+  Diagnostics diagnostics;
+  calib::parse_bundle_text(broken.str(), "broken.epp", diagnostics);
+  EXPECT_GE(diagnostics.count(Severity::kError), 2u)
+      << lint::render_text(diagnostics);
+  bool saw_malformed = false, saw_duplicate = false;
+  for (const Diagnostic& diagnostic : diagnostics.all()) {
+    if (diagnostic.rule == "EPP-BND-002") saw_malformed = true;
+    if (diagnostic.rule == "EPP-BND-003") saw_duplicate = true;
+  }
+  EXPECT_TRUE(saw_malformed);
+  EXPECT_TRUE(saw_duplicate);
+}
+
+}  // namespace
+}  // namespace epp

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "calib/bundle.hpp"
+#include "lint/lint.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -110,6 +111,16 @@ int main(int argc, char** argv) try {
   const Config config = parse_args(argc, argv);
 
   if (!config.inspect_path.empty()) {
+    // Lint before loading: a defective artifact gets its full findings
+    // list, not just the first parse exception.
+    lint::Diagnostics findings;
+    lint::lint_artifact_file(config.inspect_path, findings);
+    if (!findings.empty()) std::cerr << lint::render_text(findings);
+    if (findings.has_errors()) {
+      std::cerr << "epp_calibrate: artifact fails lint with "
+                << findings.count(lint::Severity::kError) << " error(s)\n";
+      return 2;
+    }
     const util::Timer timer;
     const calib::CalibrationBundle bundle =
         calib::load_bundle(config.inspect_path);
@@ -131,6 +142,16 @@ int main(int argc, char** argv) try {
   calib::save_bundle(config.out_path, bundle);
   std::cout << "wrote " << config.out_path << "\n\n";
   print_summary(bundle);
+  // Self-check: the artifact just written must lint clean (the same
+  // gate epp_sweep applies before consuming it).
+  lint::Diagnostics findings;
+  lint::lint_artifact_file(config.out_path, findings);
+  if (!findings.empty()) std::cerr << lint::render_text(findings);
+  if (findings.has_errors()) {
+    std::cerr << "epp_calibrate: freshly written artifact fails lint — "
+                 "this is a calibration bug\n";
+    return 2;
+  }
   return 0;
 } catch (const std::exception& error) {
   std::cerr << "epp_calibrate: " << error.what() << "\n\n";

@@ -1,0 +1,78 @@
+// epp_lint — static analysis for pipeline artifacts.
+//
+//   epp_lint [--json] [--fault-spec SPEC]... FILE...
+//
+// FILEs are `.epp` calibration bundles or `.lqn` model files (sniffed by
+// extension, then content). --fault-spec lints a fault-injection spec
+// string in place of a file. Findings print to stdout in a compiler-
+// style "file:line: severity: [RULE] message" format, or as a JSON
+// array with --json (for CI artifact upload).
+//
+// Exit code is the maximum severity found: 0 clean or notes only,
+// 1 warnings, 2 errors — so `epp_lint artifact.epp && epp_sweep ...`
+// gates a run the way a compiler gates a build. Usage errors exit 2.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "lint/lint.hpp"
+#include "svc/fault.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--fault-spec SPEC]... FILE...\n"
+               "  FILEs: .epp calibration bundles or .lqn model files\n"
+               "  --fault-spec SPEC  lint a fault-injection spec string\n"
+               "  --json             machine-readable findings on stdout\n"
+               "exit code: 0 clean/notes, 1 warnings, 2 errors\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> files;
+  std::vector<std::string> fault_specs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fault-spec") {
+      if (++i >= argc) return usage(argv[0]);
+      fault_specs.emplace_back(argv[i]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() && fault_specs.empty()) return usage(argv[0]);
+
+  epp::lint::Diagnostics diagnostics;
+  for (const std::string& file : files)
+    epp::lint::lint_artifact_file(file, diagnostics);
+  for (const std::string& spec : fault_specs)
+    epp::svc::lint_fault_spec(spec, {"<fault-spec>", 0}, diagnostics);
+  diagnostics.sort_by_location();
+
+  if (json) {
+    std::fputs(epp::lint::render_json(diagnostics).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else if (diagnostics.empty()) {
+    std::printf("clean: %zu artifact(s), no findings\n",
+                files.size() + fault_specs.size());
+  } else {
+    std::fputs(epp::lint::render_text(diagnostics).c_str(), stdout);
+  }
+  return epp::lint::exit_code(diagnostics);
+}

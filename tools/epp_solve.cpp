@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/lint.hpp"
 #include "lqn/parser.hpp"
 #include "lqn/solver.hpp"
 #include "util/table.hpp"
@@ -84,6 +85,21 @@ int main(int argc, char** argv) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
+
+  // Pre-solve lint: parse errors and structural defects come back as a
+  // complete findings list, not one exception per fix-rebuild cycle.
+  // Notes (e.g. deliberate pool saturation) don't block solving.
+  {
+    lint::Diagnostics findings;
+    lint::lint_lqn_text(buffer.str(), model_path, findings);
+    if (findings.first_at_least(lint::Severity::kWarning) != nullptr)
+      std::cerr << lint::render_text(findings);
+    if (findings.has_errors()) {
+      std::cerr << "epp_solve: model fails lint with "
+                << findings.count(lint::Severity::kError) << " error(s)\n";
+      return 1;
+    }
+  }
 
   try {
     lqn::Model model = lqn::parse_model(buffer.str());

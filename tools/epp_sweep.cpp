@@ -38,6 +38,8 @@
 #include "calib/bundle.hpp"
 #include "calib/predictor_set.hpp"
 #include "calib/seeds.hpp"
+#include "core/trade_model.hpp"
+#include "lint/lint.hpp"
 #include "svc/batch_predictor.hpp"
 #include "svc/fault.hpp"
 #include "svc/resilient.hpp"
@@ -120,7 +122,9 @@ int usage(std::ostream& out) {
          "typed error, degraded cells are flagged fallback/stale. The fault\n"
          "spec grammar is 'target:knob[,knob...][;...]' with target one of\n"
          "historical|lqn|hybrid|* and knobs fail=P, latency-ms=MS, e.g.\n"
-         "  --fault-spec 'lqn:fail=0.3,latency-ms=20;*:fail=0.05'\n";
+         "  --fault-spec 'lqn:latency-ms=20;*:fail=0.05'\n"
+         "Inputs are linted before any work happens (see tools/epp_lint);\n"
+         "lint errors abort the run with exit code 2.\n";
   return 1;
 }
 
@@ -171,8 +175,7 @@ SweepConfig parse_args(int argc, char** argv) {
       if (*config.max_retries < 0)
         throw std::invalid_argument("--max-retries wants >= 0");
     } else if (arg == "--fault-spec") {
-      config.fault_spec = value();
-      svc::parse_fault_spec(config.fault_spec);  // fail fast on bad specs
+      config.fault_spec = value();  // linted pre-run, with the rest
     } else if (arg == "--bundle") {
       config.artifact.load_path = value();
     } else if (arg == "--save-bundle") {
@@ -195,6 +198,30 @@ core::WorkloadSpec mixed_load(double total_clients, double buy_pct) {
 
 int main(int argc, char** argv) try {
   const SweepConfig config = parse_args(argc, argv);
+
+  // --- pre-run lint: refuse to spend calibration/solver time on inputs
+  // that cannot work (the same rules tools/epp_lint runs standalone) ----
+  lint::Diagnostics findings;
+  if (!config.artifact.load_path.empty())
+    lint::lint_artifact_file(config.artifact.load_path, findings);
+  if (!config.fault_spec.empty())
+    svc::lint_fault_spec(config.fault_spec, {"<fault-spec>", 0}, findings);
+  // A bad load repeats identically across every buy mix (and vice
+  // versa), so lint each axis once instead of the whole cross product.
+  for (const double clients : config.loads)
+    core::lint_workload(mixed_load(clients, config.buy_pcts.front()),
+                        {"<grid>", 0}, findings);
+  for (const double buy_pct : config.buy_pcts)
+    core::lint_workload(mixed_load(config.loads.front(), buy_pct),
+                        {"<grid>", 0}, findings);
+  if (!findings.empty()) std::cerr << lint::render_text(findings);
+  if (findings.has_errors()) {
+    std::cerr << "epp_sweep: refusing to run with "
+              << findings.count(lint::Severity::kError)
+              << " lint error(s); see epp_lint for the rule catalog\n";
+    return 2;
+  }
+
   util::ThreadPool pool(config.threads);
 
   // --- bundle acquisition: cold calibration or warm artifact load ---------
