@@ -364,15 +364,34 @@ CalibrationBundle parse_bundle_text(const std::string& text,
         duplicate("'hydra-model p90' block", parsed.p90_model_line);
         continue;
       }
+      // Record where each fit lives inside the block (file line =
+      // block_start + 1 + block-relative index) so semantic findings can
+      // point at the offending equation, not just the block header.
+      auto index_block = [&](std::map<std::string, int>& server_lines,
+                             int* mix_line) {
+        std::istringstream bs(block);
+        std::string block_line;
+        for (int i = 0; std::getline(bs, block_line); ++i) {
+          std::istringstream ts(block_line);
+          std::string record, name;
+          if (!(ts >> record)) continue;
+          if (record == "server" && (ts >> name))
+            server_lines.emplace(name, block_start + 1 + i);
+          else if (record == "mix" && mix_line != nullptr && *mix_line == 0)
+            *mix_line = block_start + 1 + i;
+        }
+      };
       try {
         if (which == "mean") {
           bundle.mean_model = hydra::model_from_text(block);
           have_mean = true;
           parsed.mean_model_line = block_start;
+          index_block(parsed.mean_server_lines, &parsed.mean_mix_line);
         } else {
           bundle.p90_model = hydra::model_from_text(block);
           have_p90 = true;
           parsed.p90_model_line = block_start;
+          index_block(parsed.p90_server_lines, nullptr);
         }
       } catch (const std::invalid_argument& error) {
         diagnostics.error("EPP-BND-005", at(block_start),

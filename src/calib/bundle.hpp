@@ -104,6 +104,11 @@ struct BundleParseInfo {
   int mean_model_line = 0;  // header line of the embedded mean block
   int p90_model_line = 0;   // header line of the embedded p90 block
   std::map<std::string, int> server_lines;  // catalog record line by name
+  // Per-server fit lines *inside* the embedded model blocks, plus the
+  // mix-relationship line — the EPP-SEM curve rules point here.
+  std::map<std::string, int> mean_server_lines;
+  std::map<std::string, int> p90_server_lines;
+  int mean_mix_line = 0;
 };
 
 /// Parse `.epp` artifact text, appending every structural finding (the

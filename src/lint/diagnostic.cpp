@@ -59,7 +59,9 @@ void Diagnostics::sort_by_location() {
                    [](const Diagnostic& a, const Diagnostic& b) {
                      if (a.location.file != b.location.file)
                        return a.location.file < b.location.file;
-                     return a.location.line < b.location.line;
+                     if (a.location.line != b.location.line)
+                       return a.location.line < b.location.line;
+                     return a.rule < b.rule;
                    });
 }
 
@@ -131,8 +133,9 @@ std::string render_json(const Diagnostics& diagnostics) {
     os << "  {\"file\": ";
     append_json_string(os, d.location.file);
     os << ", \"line\": " << d.location.line << ", \"severity\": \""
-       << severity_name(d.severity) << "\", \"rule\": \"" << d.rule
-       << "\", \"message\": ";
+       << severity_name(d.severity) << "\", \"rule\": ";
+    append_json_string(os, d.rule);
+    os << ", \"message\": ";
     append_json_string(os, d.message);
     os << ", \"hint\": ";
     append_json_string(os, d.hint);

@@ -70,8 +70,9 @@ class Diagnostics {
   /// First finding at `severity` or worse; nullptr when none.
   const Diagnostic* first_at_least(Severity severity) const;
 
-  /// Stable-sort findings by (file, line) for rendering; emission order
-  /// breaks ties, so same-line findings keep rule order.
+  /// Stable-sort findings by (file, line, rule ID) for rendering, so
+  /// output is deterministic regardless of rule-execution order;
+  /// emission order breaks remaining ties.
   void sort_by_location();
 
  private:

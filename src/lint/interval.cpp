@@ -1,0 +1,135 @@
+#include "lint/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace epp::lint {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double down(double x) { return std::nextafter(x, -kInf); }
+double up(double x) { return std::nextafter(x, kInf); }
+
+/// One-ulp outward widening — applied after every arithmetic step so the
+/// result stays an enclosure under round-to-nearest.
+Interval widen(double lo, double hi) { return {down(lo), up(hi)}; }
+
+}  // namespace
+
+Interval point(double x) { return {x, x}; }
+
+Interval span(double a, double b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+Interval add(const Interval& a, const Interval& b) {
+  return widen(a.lo + b.lo, a.hi + b.hi);
+}
+
+Interval sub(const Interval& a, const Interval& b) {
+  return widen(a.lo - b.hi, a.hi - b.lo);
+}
+
+Interval mul(const Interval& a, const Interval& b) {
+  const double p1 = a.lo * b.lo, p2 = a.lo * b.hi;
+  const double p3 = a.hi * b.lo, p4 = a.hi * b.hi;
+  return widen(std::min(std::min(p1, p2), std::min(p3, p4)),
+               std::max(std::max(p1, p2), std::max(p3, p4)));
+}
+
+Interval hull(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval linear(double slope, double intercept, const Interval& x) {
+  return add(mul(point(slope), x), point(intercept));
+}
+
+Interval scale_exp(double coeff, double rate, const Interval& x) {
+  // exp is monotone increasing, so the image of rate*x maps endpoint to
+  // endpoint; std::exp is faithfully rounded within 1 ulp on every
+  // mainstream libm, which the outward widening absorbs.
+  const Interval rx = mul(point(rate), x);
+  const Interval e = widen(std::exp(rx.lo), std::exp(rx.hi));
+  return mul(point(coeff), e);
+}
+
+Interval power(double coeff, double exponent, const Interval& x) {
+  // x^e on x.lo > 0 is monotone (increasing for e >= 0, decreasing for
+  // e < 0), so endpoint evaluation again encloses the image.
+  const double a = std::pow(x.lo, exponent);
+  const double b = std::pow(x.hi, exponent);
+  const Interval p = widen(std::min(a, b), std::max(a, b));
+  return mul(point(coeff), p);
+}
+
+namespace {
+
+/// Shared state of one bisection run: the target bound, the witness slot
+/// and a node budget that caps total work independently of depth (depth
+/// alone would admit 2^40 nodes).
+struct ProveContext {
+  const Extension& ext;
+  const Pointwise& pt;
+  double bound;
+  Witness* witness;
+  int nodes_left;
+};
+
+bool refutes(ProveContext& ctx, double x) {
+  const double value = ctx.pt(x);
+  if (value >= ctx.bound) return false;
+  if (ctx.witness != nullptr) {
+    ctx.witness->x = x;
+    ctx.witness->value = value;
+  }
+  return true;
+}
+
+Proof prove_range(ProveContext& ctx, double lo, double hi, int depth) {
+  if (ctx.nodes_left-- <= 0) return Proof::kUnknown;
+  if (ctx.ext({lo, hi}).lo >= ctx.bound) return Proof::kProven;
+  const double mid = 0.5 * (lo + hi);
+  if (refutes(ctx, lo) || refutes(ctx, mid) || refutes(ctx, hi))
+    return Proof::kRefuted;
+  if (depth <= 0 || !(lo < mid && mid < hi)) return Proof::kUnknown;
+  const Proof left = prove_range(ctx, lo, mid, depth - 1);
+  if (left == Proof::kRefuted) return Proof::kRefuted;
+  const Proof right = prove_range(ctx, mid, hi, depth - 1);
+  if (right == Proof::kRefuted) return Proof::kRefuted;
+  if (left == Proof::kProven && right == Proof::kProven)
+    return Proof::kProven;
+  return Proof::kUnknown;
+}
+
+}  // namespace
+
+Proof prove_at_least(const Extension& ext, const Pointwise& pt, double lo,
+                     double hi, double bound, Witness* witness,
+                     int max_depth) {
+  if (hi < lo) return Proof::kProven;  // empty range: vacuously true
+  ProveContext ctx{ext, pt, bound, witness, 4096};
+  return prove_range(ctx, lo, hi, max_depth);
+}
+
+void prefer_integer_witness(const Pointwise& pt, double lo, double hi,
+                            double bound, Witness* witness) {
+  if (witness == nullptr) return;
+  const double base = std::floor(witness->x);
+  // Smallest candidate first, so the reported witness is the earliest
+  // whole client count near the refutation point.
+  for (double delta = -3.0; delta <= 3.0; delta += 1.0) {
+    const double x = base + delta;
+    if (x < lo || x > hi) continue;
+    const double value = pt(x);
+    if (value < bound) {
+      witness->x = x;
+      witness->value = value;
+      return;
+    }
+  }
+}
+
+}  // namespace epp::lint

@@ -1,0 +1,83 @@
+// Interval arithmetic with outward rounding — the abstract domain behind
+// the EPP-SEM verifier (src/lint/verify.hpp).
+//
+// Every operation returns an interval that *encloses* the exact real
+// result: after each floating-point step the bounds are widened one ulp
+// outward (std::nextafter), so rounding error can never shrink the set.
+// That makes interval conclusions sound in one direction — if the
+// extension of f over [a, b] has a non-negative lower bound, then f is
+// provably non-negative everywhere on [a, b] in real arithmetic.
+//
+// The domain covers exactly the function forms the paper's relationships
+// use: linear (relationship 1 upper equation, relationships 2 and 3
+// linear fits), scaled exponential (relationship 1 lower equation) and
+// power laws (the relationship-2 lambda_lower cross-server fit).
+//
+// prove_at_least() turns the domain into a little decision procedure:
+// adaptive bisection that either *proves* f >= bound on [a, b] (interval
+// lower bound suffices everywhere), *refutes* it with a concrete witness
+// point (pointwise evaluation below the bound), or gives up kUnknown
+// when the budget runs out. Verifier rules treat kUnknown as "do not
+// flag" — soundness over completeness, a linter must not cry wolf.
+#pragma once
+
+#include <functional>
+
+namespace epp::lint {
+
+/// A closed interval [lo, hi]. Invariant: lo <= hi (NaN-free inputs).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// The degenerate point interval [x, x] (no widening: the point is exact).
+Interval point(double x);
+/// The interval spanning a and b in either order.
+Interval span(double a, double b);
+
+/// Outward-rounded arithmetic: each returns an enclosure of the exact
+/// real-valued image, widened one ulp per bound.
+Interval add(const Interval& a, const Interval& b);
+Interval sub(const Interval& a, const Interval& b);
+Interval mul(const Interval& a, const Interval& b);
+/// Smallest interval containing both operands (join; no widening).
+Interval hull(const Interval& a, const Interval& b);
+
+/// slope * x + intercept over x (relationship 1 upper line, linear fits).
+Interval linear(double slope, double intercept, const Interval& x);
+/// coeff * exp(rate * x) over x (relationship 1 lower equation).
+Interval scale_exp(double coeff, double rate, const Interval& x);
+/// coeff * x^exponent over x; requires x.lo > 0 (relationship-2 power fit).
+Interval power(double coeff, double exponent, const Interval& x);
+
+/// Outcome of a bounded proof attempt.
+enum class Proof { kProven, kRefuted, kUnknown };
+
+/// Concrete counterexample: f(x) = value violates the queried bound.
+struct Witness {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+/// Interval extension of a scalar function (must enclose the true image).
+using Extension = std::function<Interval(const Interval&)>;
+/// Pointwise evaluation of the same function.
+using Pointwise = std::function<double(double)>;
+
+/// Decide whether f(x) >= bound for every x in [lo, hi], by adaptive
+/// bisection: an interval lower bound >= bound proves a subrange at once;
+/// a pointwise sample < bound refutes globally (witness filled in);
+/// otherwise split until max_depth / the node budget is exhausted
+/// (kUnknown). `ext` and `pt` must describe the same function.
+Proof prove_at_least(const Extension& ext, const Pointwise& pt, double lo,
+                     double hi, double bound, Witness* witness = nullptr,
+                     int max_depth = 40);
+
+/// Nudge a refutation witness onto a whole number of clients when an
+/// integer in [lo, hi] near witness->x also satisfies pt(x) < bound
+/// (diagnostics read better as "N = 1449 clients" than "N = 1448.73").
+void prefer_integer_witness(const Pointwise& pt, double lo, double hi,
+                            double bound, Witness* witness);
+
+}  // namespace epp::lint

@@ -34,9 +34,18 @@
 //                         embedded mean model's fit for that server
 //   EPP-BND-015 (warning) seeds record absent (provenance lost)
 //
-//   EPP-WKL-001..004      workload grids — see core/trade_model.hpp
-//   EPP-FLT-001..004      fault specs — see svc/fault.hpp
+//   EPP-WKL-001..004      workload grids — see core/trade_model.hpp;
+//                         as a file, one `workload BROWSE BUY [THINK]`
+//                         record per line under an `epp-workloads v1`
+//                         header (*.wkl)
+//   EPP-FLT-001..004      fault specs — see svc/fault.hpp; as a file,
+//                         one spec string per line under an `epp-faults
+//                         v1` header (*.fspec)
 //   EPP-IO-001  (error)   artifact file unreadable
+//
+//   EPP-SEM-001..021      semantic verifier rules (interval-proven curve
+//                         sanity, LQN convergence, fallback-chain
+//                         coverage) — see lint/verify.hpp
 //
 // The WKL and FLT rules live next to their parsers (core and svc); this
 // library adds the model/bundle rules and the file-level dispatcher the
@@ -58,6 +67,10 @@ struct LqnSourceIndex {
   std::map<std::string, int> entry_lines;
 };
 
+/// Build the declaration-line index from model text (shared by the lint
+/// and verify passes so both locate findings identically).
+LqnSourceIndex index_lqn_source(const std::string& text);
+
 /// Semantic rules (EPP-LQN-002..012) on an already-parsed model. `file`
 /// names the findings' artifact; `index` (optional) lets them carry the
 /// declaring line.
@@ -76,8 +89,27 @@ void lint_lqn_text(const std::string& text, const std::string& file,
 void lint_bundle_text(const std::string& text, const std::string& file,
                       Diagnostics& diagnostics);
 
+/// Workload-grid text (*.wkl): an optional `epp-workloads v1` header,
+/// then `workload BROWSE BUY [THINK]` records. Fields are parsed
+/// leniently (a malformed number becomes NaN) so the EPP-WKL rules fire
+/// per record instead of the file dying on the first bad token.
+void lint_workload_grid_text(const std::string& text, const std::string& file,
+                             Diagnostics& diagnostics);
+
+/// Fault-spec text (*.fspec): an optional `epp-faults v1` header, then
+/// one fault-spec string per line, each run through svc::lint_fault_spec
+/// (the EPP-FLT rules) at its line number.
+void lint_fault_spec_text(const std::string& text, const std::string& file,
+                          Diagnostics& diagnostics);
+
 /// What a file claims to be, decided by extension then content.
-enum class ArtifactKind { kBundle, kLqnModel, kUnknown };
+enum class ArtifactKind {
+  kBundle,
+  kLqnModel,
+  kWorkloadGrid,
+  kFaultSpec,
+  kUnknown
+};
 ArtifactKind sniff_artifact(const std::string& path, const std::string& text);
 
 /// Lint one artifact file: read it (EPP-IO-001 when unreadable), sniff

@@ -302,18 +302,7 @@ void lint_lqn_text(const std::string& text, const std::string& file,
   }
 
   // Index declaration lines so semantic findings are clickable.
-  LqnSourceIndex index;
-  std::istringstream is(text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    std::istringstream ls(line);
-    std::string kind, name;
-    if (!(ls >> kind >> name)) continue;
-    if (kind == "task") index.task_lines.emplace(name, line_no);
-    if (kind == "entry") index.entry_lines.emplace(name, line_no);
-  }
+  const LqnSourceIndex index = index_lqn_source(text);
   lint_lqn_model(model, file, diagnostics, &index);
 }
 

@@ -1,0 +1,121 @@
+// EPP-SEM-020/021: fallback-chain coverage. Mirrors the degradation
+// chain ResilientPredictor builds per request (resilient.cpp's
+// kFallbackOrder: lqn -> hybrid -> historical, starting at the requested
+// method) and the availability each method actually has against a
+// bundle: the lqn/hybrid predictors cover every catalog server
+// (make_predictors registers them all), the historical predictor only
+// servers with a fit in the embedded mean model. A (method, server)
+// request whose whole chain is unavailable can never terminate in a
+// prediction; a single-method chain with circuit breaking armed and the
+// stale store disabled dies with the first open breaker.
+#include "lint/verify.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace epp::lint {
+namespace {
+
+constexpr std::array<svc::Method, 3> kFallbackOrder = {
+    svc::Method::kLqn, svc::Method::kHybrid, svc::Method::kHistorical};
+
+std::vector<svc::Method> chain_for(svc::Method requested,
+                                   bool fallback_enabled) {
+  std::vector<svc::Method> chain{requested};
+  if (!fallback_enabled) return chain;
+  bool seen = false;
+  for (const svc::Method method : kFallbackOrder) {
+    if (method == requested) {
+      seen = true;
+      continue;
+    }
+    if (seen) chain.push_back(method);
+  }
+  return chain;
+}
+
+}  // namespace
+
+void verify_fallback_chains(const calib::CalibrationBundle& bundle,
+                            const std::string& file,
+                            const calib::BundleParseInfo* info,
+                            const VerifyOptions& options,
+                            Diagnostics& diagnostics) {
+  if (!options.check_chains) return;
+
+  // Every server a request can name: the catalog plus anything only the
+  // embedded mean model knows about.
+  std::vector<std::string> servers;
+  std::vector<bool> in_catalog;
+  for (const calib::ServerRecord& record : bundle.servers) {
+    servers.push_back(record.name);
+    in_catalog.push_back(true);
+  }
+  for (const std::string& name : bundle.mean_model.servers()) {
+    bool known = false;
+    for (const std::string& existing : servers)
+      known = known || existing == name;
+    if (!known) {
+      servers.push_back(name);
+      in_catalog.push_back(false);
+    }
+  }
+
+  std::vector<svc::Method> methods = options.methods;
+  if (methods.empty())
+    methods = {svc::Method::kHistorical, svc::Method::kLqn,
+               svc::Method::kHybrid};
+
+  const svc::ResilienceOptions& res = options.resilience;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const std::string& server = servers[i];
+    SourceLocation where{file, 0};
+    if (info != nullptr) {
+      if (const auto it = info->server_lines.find(server);
+          it != info->server_lines.end())
+        where.line = it->second;
+      else if (const auto fit = info->mean_server_lines.find(server);
+               fit != info->mean_server_lines.end())
+        where.line = fit->second;
+    }
+    for (const svc::Method requested : methods) {
+      const std::vector<svc::Method> chain =
+          chain_for(requested, res.fallback_enabled);
+      std::string listing;
+      std::size_t viable = 0;
+      for (const svc::Method method : chain) {
+        const bool available = method == svc::Method::kHistorical
+                                   ? bundle.mean_model.has_server(server)
+                                   : in_catalog[i];
+        if (available) ++viable;
+        if (!listing.empty()) listing += " -> ";
+        listing += std::string(method_name(method)) +
+                   (available ? "" : " (unavailable)");
+      }
+      if (viable == 0) {
+        diagnostics.error(
+            "EPP-SEM-020", where,
+            "request (method '" + std::string(method_name(requested)) +
+                "', server '" + server + "') has no viable method: chain " +
+                listing + " dead-ends",
+            "re-run epp_calibrate so every catalog server gets a fit, or "
+            "enable fallback to reach a method that covers '" + server +
+                "'");
+      } else if (viable == 1 && res.breaker_failure_threshold > 0 &&
+                 !res.serve_stale) {
+        diagnostics.warning(
+            "EPP-SEM-021", where,
+            "request (method '" + std::string(method_name(requested)) +
+                "', server '" + server +
+                "') rests on a single viable method (chain " + listing +
+                ") while circuit breaking is armed and the stale store is "
+                "disabled: one open breaker dead-ends it",
+            "enable serve_stale or keep at least two viable methods in "
+            "the chain so an open breaker degrades instead of failing");
+      }
+    }
+  }
+}
+
+}  // namespace epp::lint

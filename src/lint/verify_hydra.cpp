@@ -1,0 +1,272 @@
+// EPP-SEM-001..005: the HYDRA curve analyzer. Proves, with the interval
+// domain in interval.hpp, that every relationship-1 fit a bundle persists
+// stays non-negative and monotone over the full client range — on the
+// *raw* piecewise equations, before the runtime clamps in
+// Relationship1::predict_metric and Relationship2::predict_for get a
+// chance to mask a defective fit. Refutations carry a concrete witness
+// client count into the fix-it hint.
+#include "lint/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string>
+
+#include "hydra/relationships.hpp"
+#include "lint/interval.hpp"
+
+namespace epp::lint {
+namespace {
+
+/// One refuted curve property, phrased without the model/server subject
+/// (the caller prepends it — the same checks back both the per-server
+/// rules and the SEM-005 hypothetical-server probe).
+struct Defect {
+  std::string message;
+  std::string hint;
+};
+
+bool params_finite(const hydra::Relationship1& rel) {
+  return std::isfinite(rel.c_lower) && std::isfinite(rel.lambda_lower) &&
+         std::isfinite(rel.lambda_upper) && std::isfinite(rel.c_upper) &&
+         std::isfinite(rel.max_throughput_rps) && std::isfinite(rel.gradient_m);
+}
+
+std::string witness_hint(double clients, double value_s) {
+  return "witness: N = " + fmt_value(clients) + " clients -> " +
+         fmt_value(value_s) + " s; re-run epp_calibrate instead of editing "
+         "fitted parameters by hand";
+}
+
+/// SEM-001: a prediction piece dips below zero on its active range.
+std::optional<Defect> check_negative(const hydra::Relationship1& rel,
+                                     double max_clients_factor) {
+  const double n_star = rel.clients_at_max_throughput();
+  if (!(n_star > 0.0) || !std::isfinite(n_star)) return std::nullopt;
+  const double n1 = rel.transition_lo * n_star;
+  const double n2 = rel.transition_hi * n_star;
+  const double hi = std::max(max_clients_factor * n_star, n2);
+
+  const auto lower_ext = [&](const Interval& x) {
+    return scale_exp(rel.c_lower, rel.lambda_lower, x);
+  };
+  const auto lower_pt = [&](double clients) {
+    return rel.c_lower * std::exp(rel.lambda_lower * clients);
+  };
+  Witness witness;
+  if (prove_at_least(lower_ext, lower_pt, 0.0, n1, 0.0, &witness) ==
+      Proof::kRefuted) {
+    prefer_integer_witness(lower_pt, 0.0, n1, 0.0, &witness);
+    return Defect{"lower equation predicts " + fmt_value(witness.value) +
+                      " s at N = " + fmt_value(witness.x) + " clients",
+                  witness_hint(witness.x, witness.value)};
+  }
+
+  const auto upper_ext = [&](const Interval& x) {
+    return linear(rel.lambda_upper, rel.c_upper, x);
+  };
+  const auto upper_pt = [&](double clients) {
+    return rel.lambda_upper * clients + rel.c_upper;
+  };
+  if (prove_at_least(upper_ext, upper_pt, n2, hi, 0.0, &witness) ==
+      Proof::kRefuted) {
+    prefer_integer_witness(upper_pt, n2, hi, 0.0, &witness);
+    return Defect{"upper equation predicts " + fmt_value(witness.value) +
+                      " s at N = " + fmt_value(witness.x) + " clients",
+                  witness_hint(witness.x, witness.value)};
+  }
+  return std::nullopt;
+}
+
+/// SEM-002: a transition-band endpoint is non-positive, so the
+/// exponential phasing through (n1, y1) and (n2, y2) is undefined and
+/// predict_metric degrades to a hard switch that jumps at the boundary.
+std::optional<Defect> check_degenerate(const hydra::Relationship1& rel) {
+  const double n_star = rel.clients_at_max_throughput();
+  if (!(n_star > 0.0) || !std::isfinite(n_star)) return std::nullopt;
+  const double n1 = rel.transition_lo * n_star;
+  const double n2 = rel.transition_hi * n_star;
+  if (!(n2 > n1)) return std::nullopt;
+  const double y1 = rel.c_lower * std::exp(rel.lambda_lower * n1);
+  const double y2 = rel.lambda_upper * n2 + rel.c_upper;
+  const bool lower_bad = !(y1 > 0.0);
+  if (!lower_bad && y2 > 0.0) return std::nullopt;
+  const double n = lower_bad ? n1 : n2;
+  const double y = lower_bad ? y1 : y2;
+  const char* piece = lower_bad ? "lower equation at the 66% boundary"
+                                : "upper equation at the 110% boundary";
+  return Defect{
+      "transition band is degenerate: " + std::string(piece) + " gives " +
+          fmt_value(y) + " s (N = " + fmt_value(n) +
+          " clients), so the exponential phasing is undefined and the curve "
+          "is discontinuous there",
+      witness_hint(n, y)};
+}
+
+/// SEM-003: the curve decreases across the transition band (more load,
+/// faster responses — physically implausible, almost always a bad fit).
+std::optional<Defect> check_monotone(const hydra::Relationship1& rel) {
+  const double n_star = rel.clients_at_max_throughput();
+  if (!(n_star > 0.0) || !std::isfinite(n_star)) return std::nullopt;
+  const double n1 = rel.transition_lo * n_star;
+  const double n2 = rel.transition_hi * n_star;
+  if (!(n2 > n1)) return std::nullopt;
+  const double y1 = rel.c_lower * std::exp(rel.lambda_lower * n1);
+  const double y2 = rel.lambda_upper * n2 + rel.c_upper;
+  if (!(y1 > 0.0) || !(y2 > 0.0) || y2 >= y1) return std::nullopt;
+  return Defect{
+      "curve is not monotone across the transition band: upper(N = " +
+          fmt_value(n2) + ") = " + fmt_value(y2) + " s < lower(N = " +
+          fmt_value(n1) + ") = " + fmt_value(y1) + " s",
+      "witness pair: N = " + fmt_value(n1) + " -> " + fmt_value(y1) +
+          " s vs N = " + fmt_value(n2) + " -> " + fmt_value(y2) +
+          " s; re-run epp_calibrate instead of editing fitted parameters "
+          "by hand"};
+}
+
+/// First defect of any kind — the SEM-005 probe reports one finding per
+/// model, not one per sample per rule.
+std::optional<Defect> first_curve_defect(const hydra::Relationship1& rel,
+                                         double max_clients_factor) {
+  if (auto d = check_degenerate(rel)) return d;
+  if (auto d = check_negative(rel, max_clients_factor)) return d;
+  return check_monotone(rel);
+}
+
+/// Locate a finding on the server's fit line inside the embedded model
+/// block, falling back to the block header, then the whole artifact.
+SourceLocation fit_location(const std::string& file,
+                            const calib::BundleParseInfo* info, bool is_mean,
+                            const std::string& server) {
+  if (info != nullptr) {
+    const auto& lines = is_mean ? info->mean_server_lines
+                                : info->p90_server_lines;
+    if (const auto it = lines.find(server); it != lines.end())
+      return {file, it->second};
+    return {file, is_mean ? info->mean_model_line : info->p90_model_line};
+  }
+  return {file, 0};
+}
+
+void verify_model_curves(const hydra::HistoricalModel& model, bool is_mean,
+                         const calib::CalibrationBundle& bundle,
+                         const std::string& file,
+                         const calib::BundleParseInfo* info,
+                         const VerifyOptions& options,
+                         Diagnostics& diagnostics) {
+  const std::string label = is_mean ? "mean model" : "p90 model";
+
+  for (const std::string& name : model.servers()) {
+    const hydra::Relationship1& rel = model.server(name);
+    if (!params_finite(rel)) continue;  // structural; lint's domain
+    const SourceLocation where = fit_location(file, info, is_mean, name);
+    const std::string subject = label + ", server '" + name + "': ";
+    if (auto d = check_negative(rel, options.max_clients_factor))
+      diagnostics.error("EPP-SEM-001", where, subject + d->message, d->hint);
+    if (auto d = check_degenerate(rel))
+      diagnostics.error("EPP-SEM-002", where, subject + d->message, d->hint);
+    if (auto d = check_monotone(rel))
+      diagnostics.warning("EPP-SEM-003", where, subject + d->message, d->hint);
+  }
+
+  // SEM-004: the relationship-3 mix line must keep max throughput
+  // positive over the whole buy-percentage domain [0, 100].
+  if (model.has_mix_calibration()) {
+    const hydra::Relationship3& mix = model.mix_relationship();
+    const util::LinearFit& fit = mix.max_tput_vs_buy_pct;
+    const auto ext = [&](const Interval& b) {
+      return linear(fit.slope, fit.intercept, b);
+    };
+    const auto pt = [&](double b) { return fit(b); };
+    Witness witness;
+    if (prove_at_least(ext, pt, 0.0, 100.0, 0.0, &witness) ==
+        Proof::kRefuted) {
+      prefer_integer_witness(pt, 0.0, 100.0, 0.0, &witness);
+      SourceLocation where{file, 0};
+      if (info != nullptr)
+        where.line = is_mean && info->mean_mix_line != 0
+                         ? info->mean_mix_line
+                         : (is_mean ? info->mean_model_line
+                                    : info->p90_model_line);
+      diagnostics.warning(
+          "EPP-SEM-004", where,
+          label + ": relationship-3 mix fit predicts a non-positive max "
+                  "throughput (" +
+              fmt_value(witness.value) + " rps) at buy = " +
+              fmt_value(witness.x) + "%",
+          "witness: buy = " + fmt_value(witness.x) + "% -> " +
+              fmt_value(witness.value) +
+              " rps; re-run the mix benchmark (epp_calibrate without "
+              "--no-mix)");
+    }
+  }
+
+  // SEM-005: probe the relationship-2 extrapolation the way
+  // add_new_server will use it — at sampled hypothetical max throughputs
+  // spanning (and overshooting) the catalog range.
+  if (model.established_servers().size() < 2 ||
+      options.hypothetical_samples < 1)
+    return;
+  double mx_min = 0.0, mx_max = 0.0;
+  for (const calib::ServerRecord& record : bundle.servers) {
+    if (!(record.max_throughput_rps > 0.0)) continue;
+    if (mx_min == 0.0 || record.max_throughput_rps < mx_min)
+      mx_min = record.max_throughput_rps;
+    mx_max = std::max(mx_max, record.max_throughput_rps);
+  }
+  if (!(mx_min > 0.0)) return;  // no measured catalog entries to anchor on
+  const hydra::Relationship2& rel2 = model.cross_server_fit();
+  const double lo = 0.5 * mx_min;
+  const double hi = std::max(options.hypothetical_span * mx_max, lo);
+  const int samples = options.hypothetical_samples;
+  for (int i = 0; i < samples; ++i) {
+    const double t = samples > 1
+                         ? static_cast<double>(i) /
+                               static_cast<double>(samples - 1)
+                         : 0.5;
+    const double mx = lo + t * (hi - lo);
+    const SourceLocation where{
+        file, info != nullptr
+                  ? (is_mean ? info->mean_model_line : info->p90_model_line)
+                  : 0};
+    const std::string subject =
+        label + ": relationship-2 extrapolation breaks down at a "
+                "hypothetical server with max throughput " +
+        fmt_value(mx) + " rps: ";
+    const double raw_c_lower = rel2.c_lower_vs_max_tput(mx);
+    if (!(raw_c_lower > 0.0)) {
+      diagnostics.warning(
+          "EPP-SEM-005", where,
+          subject + "the c_lower fit gives " + fmt_value(raw_c_lower) +
+              " before the runtime clamp to 1e-6",
+          "witness: max throughput = " + fmt_value(mx) +
+              " rps -> c_lower = " + fmt_value(raw_c_lower) +
+              "; add_new_server would serve a silently clamped curve — "
+              "recalibrate with more established servers");
+      return;  // one finding per model: the first defective sample
+    }
+    const hydra::Relationship1 derived =
+        rel2.predict_for(mx, model.gradient_m());
+    if (!params_finite(derived)) continue;
+    if (auto d = first_curve_defect(derived, options.max_clients_factor)) {
+      diagnostics.warning("EPP-SEM-005", where, subject + d->message,
+                          d->hint);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void verify_hydra_curves(const calib::CalibrationBundle& bundle,
+                         const std::string& file,
+                         const calib::BundleParseInfo* info,
+                         const VerifyOptions& options,
+                         Diagnostics& diagnostics) {
+  verify_model_curves(bundle.mean_model, /*is_mean=*/true, bundle, file, info,
+                      options, diagnostics);
+  verify_model_curves(bundle.p90_model, /*is_mean=*/false, bundle, file, info,
+                      options, diagnostics);
+}
+
+}  // namespace epp::lint

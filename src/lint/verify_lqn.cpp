@@ -1,0 +1,314 @@
+// EPP-SEM-010..012: the LQN convergence pre-checker. Mirrors the layered
+// solver's flattening (processor stations, surrogate thread-pool stations,
+// light-load demands) to decide *statically* whether the solve can
+// succeed, instead of letting a sweep discover it minutes in:
+//
+//   * SEM-010 — open-class arrivals offer utilization >= 1 at a station;
+//     the MVA core refuses such models with a std::domain_error.
+//   * SEM-011/012 — the layered surrogate-demand fixed point is a
+//     contraction only while priority starvation stays bounded. We
+//     estimate a contraction factor from three necessary ingredients of
+//     every observed divergence: high-priority utilization pressure at a
+//     shared station (U_high), the starved class actually competing there
+//     (u_low), and a finite thread pool feeding queue growth back into
+//     the surrogate demand (Q_low, population per thread). The estimate
+//       kappa = min(U_high / 2.5, u_low / 9.0, Q_low / 90.0)
+//     is calibrated so every diverging probe model scores >= 1 (error)
+//     or lands in the [0.5, 1) at-risk band (warning) while all
+//     converging pipeline models stay below 0.5. It is an honest
+//     heuristic bound, not a proof — which is why only the >= 1 band is
+//     an error.
+#include "lint/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lqn/model.hpp"
+
+namespace epp::lint {
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+double light_exec_time(const lqn::Model& model, lqn::EntryId e) {
+  const lqn::Entry& entry = model.entry(e);
+  double time = entry.service_demand_s /
+                model.processor(model.task(entry.task).processor).speed;
+  for (const lqn::Call& call : entry.calls)
+    time += call.mean_calls * light_exec_time(model, call.target);
+  return time;
+}
+
+void collect_below(const lqn::Model& model, lqn::TaskId task,
+                   std::set<lqn::ProcessorId>& procs,
+                   std::set<lqn::TaskId>& seen) {
+  if (!seen.insert(task).second) return;
+  procs.insert(model.task(task).processor);
+  for (lqn::EntryId e : model.task(task).entries)
+    for (const lqn::Call& call : model.entry(e).calls)
+      collect_below(model, model.entry(call.target).task, procs, seen);
+}
+
+SourceLocation task_location(const std::string& file,
+                             const LqnSourceIndex* index,
+                             const std::string& task_name) {
+  if (index != nullptr)
+    if (const auto it = index->task_lines.find(task_name);
+        it != index->task_lines.end())
+      return {file, it->second};
+  return {file, 0};
+}
+
+void run_convergence_checks(const lqn::Model& model, const std::string& file,
+                            Diagnostics& diagnostics,
+                            const LqnSourceIndex* index) {
+  const std::size_t ne = model.entries().size();
+  const std::size_t nt = model.tasks().size();
+
+  std::vector<lqn::TaskId> refs, open_refs;
+  for (lqn::TaskId ref : model.reference_tasks())
+    (model.task(ref).open_arrivals ? open_refs : refs).push_back(ref);
+  const std::size_t nc = refs.size();
+  const std::size_t no = open_refs.size();
+  if (nc == 0 && no == 0) return;
+
+  std::vector<std::vector<double>> visits(nc), open_visits(no);
+  for (std::size_t c = 0; c < nc; ++c)
+    visits[c] = model.visit_ratios(refs[c]);
+  for (std::size_t c = 0; c < no; ++c)
+    open_visits[c] = model.visit_ratios(open_refs[c]);
+
+  // Stations exactly as the solver flattens them: processors hosting
+  // non-reference entries first, then thread-pool surrogates.
+  struct StationInfo {
+    std::string name;
+    bool delay = false;
+    double servers = 1.0;
+  };
+  std::vector<std::size_t> proc_station(model.processors().size(), kNpos);
+  std::vector<StationInfo> stations;
+  for (lqn::EntryId e = 0; e < ne; ++e) {
+    const lqn::Entry& entry = model.entry(e);
+    if (model.task(entry.task).is_reference) continue;
+    const lqn::ProcessorId p = model.task(entry.task).processor;
+    if (proc_station[p] != kNpos) continue;
+    proc_station[p] = stations.size();
+    const lqn::Processor& proc = model.processor(p);
+    stations.push_back(
+        {proc.name, proc.scheduling == lqn::Scheduling::kDelay,
+         static_cast<double>(std::max<std::size_t>(proc.multiplicity, 1))});
+  }
+  const std::size_t n_proc_stations = stations.size();
+
+  std::vector<std::vector<double>> demands(
+      nc, std::vector<double>(stations.size(), 0.0));
+  std::vector<double> think(nc, 0.0);
+  for (std::size_t c = 0; c < nc; ++c) {
+    const lqn::Task& ref = model.task(refs[c]);
+    think[c] = ref.think_time_s;
+    for (lqn::EntryId e = 0; e < ne; ++e) {
+      if (visits[c][e] == 0.0) continue;
+      const lqn::Entry& entry = model.entry(e);
+      const lqn::Task& task = model.task(entry.task);
+      const lqn::Processor& proc = model.processor(task.processor);
+      const double time = visits[c][e] * entry.service_demand_s / proc.speed;
+      if (task.is_reference)
+        think[c] += time;
+      else
+        demands[c][proc_station[task.processor]] += time;
+    }
+  }
+  std::vector<std::vector<double>> open_demands(
+      no, std::vector<double>(stations.size(), 0.0));
+  for (std::size_t c = 0; c < no; ++c) {
+    for (lqn::EntryId e = 0; e < ne; ++e) {
+      if (open_visits[c][e] == 0.0) continue;
+      const lqn::Entry& entry = model.entry(e);
+      const lqn::Task& task = model.task(entry.task);
+      if (task.is_reference) continue;
+      const lqn::Processor& proc = model.processor(task.processor);
+      open_demands[c][proc_station[task.processor]] +=
+          open_visits[c][e] * entry.service_demand_s / proc.speed;
+    }
+  }
+
+  // Task visit counts and the surrogate-station selection rule.
+  std::vector<std::vector<double>> task_visits(nc,
+                                               std::vector<double>(nt, 0.0));
+  for (std::size_t c = 0; c < nc; ++c)
+    for (lqn::EntryId e = 0; e < ne; ++e)
+      task_visits[c][model.entry(e).task] += visits[c][e];
+  std::vector<std::vector<double>> open_task_visits(
+      no, std::vector<double>(nt, 0.0));
+  for (std::size_t c = 0; c < no; ++c)
+    for (lqn::EntryId e = 0; e < ne; ++e)
+      open_task_visits[c][model.entry(e).task] += open_visits[c][e];
+
+  std::vector<std::size_t> tasks_on_processor(model.processors().size(), 0);
+  for (lqn::TaskId t = 0; t < nt; ++t)
+    if (!model.task(t).is_reference)
+      ++tasks_on_processor[model.task(t).processor];
+
+  std::vector<lqn::TaskId> finite_tasks;
+  std::vector<std::set<std::size_t>> below_stations;  // per finite task
+  for (lqn::TaskId t = 0; t < nt; ++t) {
+    const lqn::Task& task = model.task(t);
+    if (task.is_reference) continue;
+    const bool leaf = [&] {
+      for (lqn::EntryId e : task.entries)
+        if (!model.entry(e).calls.empty()) return false;
+      return true;
+    }();
+    if (task.multiplicity == 1 && leaf &&
+        tasks_on_processor[task.processor] == 1)
+      continue;
+    double light_total = 0.0;
+    for (lqn::EntryId e : task.entries)
+      light_total += light_exec_time(model, e);
+    const double light_s =
+        task.entries.empty()
+            ? 0.0
+            : light_total / static_cast<double>(task.entries.size());
+    const double m = static_cast<double>(std::max<std::size_t>(
+        task.multiplicity, 1));
+    const std::size_t station = stations.size();
+    stations.push_back({task.name + ".threads", false, 1.0});
+    for (std::size_t c = 0; c < nc; ++c)
+      demands[c].push_back(task_visits[c][t] * light_s / m);
+    for (std::size_t c = 0; c < no; ++c)
+      open_demands[c].push_back(open_task_visits[c][t] * light_s / m);
+    std::set<lqn::ProcessorId> procs;
+    std::set<lqn::TaskId> seen;
+    collect_below(model, t, procs, seen);
+    std::set<std::size_t> below;
+    for (lqn::ProcessorId p : procs)
+      if (proc_station[p] != kNpos) below.insert(proc_station[p]);
+    finite_tasks.push_back(t);
+    below_stations.push_back(below);
+    (void)station;
+  }
+
+  // --- SEM-010: open arrivals must leave every queueing station spare
+  // capacity, or solve_mva throws before producing anything.
+  if (no > 0) {
+    const std::string first_open = model.task(open_refs[0]).name;
+    const SourceLocation where = task_location(file, index, first_open);
+    for (std::size_t s = 0; s < stations.size(); ++s) {
+      if (stations[s].delay) continue;
+      double util = 0.0;
+      for (std::size_t c = 0; c < no; ++c)
+        util += model.task(open_refs[c]).arrival_rate_rps *
+                open_demands[c][s];
+      util /= stations[s].servers;
+      if (util >= 1.0) {
+        diagnostics.error(
+            "EPP-SEM-010", where,
+            "open arrivals saturate station '" + stations[s].name +
+                "': offered utilization " + fmt_value(util) +
+                " >= 1, the MVA solver will refuse this model",
+            "reduce arrival rates or add capacity so that "
+            "sum(lambda * demand) / servers < 1 at every station");
+      }
+    }
+  }
+
+  // --- SEM-011/012: contraction estimate for the layered fixed point
+  // under priority starvation with finite-pool feedback.
+  if (nc < 2) return;
+  bool priorities_differ = false;
+  for (std::size_t c = 1; c < nc; ++c)
+    priorities_differ =
+        priorities_differ ||
+        model.task(refs[c]).priority != model.task(refs[0]).priority;
+  if (!priorities_differ) return;
+
+  std::vector<double> x_unc(nc, 0.0);  // uncontended throughput bound
+  for (std::size_t c = 0; c < nc; ++c) {
+    double total_demand = 0.0;
+    for (double d : demands[c]) total_demand += d;
+    const double cycle = think[c] + total_demand;
+    if (cycle > 0.0) x_unc[c] = model.task(refs[c]).population / cycle;
+  }
+
+  double kappa = 0.0;
+  std::size_t kappa_class = kNpos, kappa_station = kNpos;
+  for (std::size_t s = 0; s < n_proc_stations; ++s) {
+    if (stations[s].delay) continue;
+    for (std::size_t l = 0; l < nc; ++l) {
+      const int prio_l = model.task(refs[l]).priority;
+      double u_high = 0.0;
+      for (std::size_t c = 0; c < nc; ++c)
+        if (model.task(refs[c]).priority > prio_l)
+          u_high += x_unc[c] * demands[c][s] / stations[s].servers;
+      if (u_high <= 0.0) continue;
+      const double u_low = x_unc[l] * demands[l][s] / stations[s].servers;
+      if (u_low <= 0.0) continue;
+      // Feedback strength: the starved population per thread of a finite
+      // pool whose subtree contains this station. No qualifying pool
+      // means queue growth cannot feed back into surrogate demands.
+      double q_low = 0.0;
+      for (std::size_t i = 0; i < finite_tasks.size(); ++i) {
+        const lqn::TaskId t = finite_tasks[i];
+        if (task_visits[l][t] <= 0.0 || below_stations[i].count(s) == 0)
+          continue;
+        const double m = static_cast<double>(std::max<std::size_t>(
+            model.task(t).multiplicity, 1));
+        q_low = std::max(q_low, model.task(refs[l]).population / m);
+      }
+      if (q_low <= 0.0) continue;
+      const double estimate =
+          std::min(u_high / 2.5, std::min(u_low / 9.0, q_low / 90.0));
+      if (estimate > kappa) {
+        kappa = estimate;
+        kappa_class = l;
+        kappa_station = s;
+      }
+    }
+  }
+  if (kappa < 0.5 || kappa_class == kNpos) return;
+  const std::string& cls = model.task(refs[kappa_class]).name;
+  const std::string& station = stations[kappa_station].name;
+  const SourceLocation where = task_location(file, index, cls);
+  if (kappa >= 1.0) {
+    diagnostics.error(
+        "EPP-SEM-011", where,
+        "layered solve cannot converge: class '" + cls +
+            "' is priority-starved at station '" + station +
+            "' with finite-pool feedback (contraction estimate " +
+            fmt_value(kappa) + " >= 1)",
+        "raise '" + cls +
+            "' priority, shrink its population, or add capacity at '" +
+            station +
+            "'; at runtime the layered solver exhausts its iteration "
+            "budget (SolverDivergedError)");
+  } else {
+    diagnostics.warning(
+        "EPP-SEM-012", where,
+        "layered convergence at risk: class '" + cls +
+            "' is priority-starved at station '" + station +
+            "' with finite-pool feedback (contraction estimate " +
+            fmt_value(kappa) + " in [0.5, 1))",
+        "expect slow convergence; raising '" + cls +
+            "' priority or adding capacity at '" + station +
+            "' restores a safe margin");
+  }
+}
+
+}  // namespace
+
+void verify_lqn_model(const lqn::Model& model, const std::string& file,
+                      Diagnostics& diagnostics, const LqnSourceIndex* index) {
+  // The pre-checker assumes a structurally valid (lint-clean) model; on
+  // anything else it stays silent rather than crash the pre-flight — a
+  // malformed model is the structural rules' finding, not ours.
+  try {
+    run_convergence_checks(model, file, diagnostics, index);
+  } catch (const std::exception&) {
+  }
+}
+
+}  // namespace epp::lint

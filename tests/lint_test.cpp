@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -75,15 +76,18 @@ TEST(DiagnosticEngine, FirstAtLeastScansInEmissionOrder) {
   EXPECT_EQ(only_notes.first_at_least(Severity::kWarning), nullptr);
 }
 
-TEST(DiagnosticEngine, SortByLocationIsStablePerLine) {
+TEST(DiagnosticEngine, SortByLocationBreaksTiesByRuleId) {
+  // Same (file, line) findings order by rule ID, so output is identical
+  // no matter which rule pass emitted first — structural lint and the
+  // EPP-SEM verifier can interleave freely without churning goldens.
   Diagnostics diagnostics;
   diagnostics.error("LATE", {"b.lqn", 9}, "late file");
   diagnostics.error("SECOND", {"a.lqn", 4}, "same line, added second");
   diagnostics.error("FIRST", {"a.lqn", 4}, "same line, added first");
   diagnostics.sort_by_location();
   ASSERT_EQ(diagnostics.size(), 3u);
-  EXPECT_EQ(diagnostics.all()[0].rule, "SECOND");  // emission order kept
-  EXPECT_EQ(diagnostics.all()[1].rule, "FIRST");
+  EXPECT_EQ(diagnostics.all()[0].rule, "FIRST");  // rule ID, not emission
+  EXPECT_EQ(diagnostics.all()[1].rule, "SECOND");
   EXPECT_EQ(diagnostics.all()[2].rule, "LATE");
 }
 
@@ -100,15 +104,63 @@ TEST(DiagnosticEngine, TextRenderingIsCompilerStyle) {
             std::string::npos);
 }
 
+// Minimal JSON string scanner for the round-trip test below: finds the
+// first `"key": "` after `from` and decodes the escaped value with the
+// same escape set render_json emits (\" \\ \n \t \u00XX).
+std::string json_string_field(const std::string& json, const std::string& key,
+                              std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t start = json.find(needle, from);
+  EXPECT_NE(start, std::string::npos) << "no field " << key;
+  if (start == std::string::npos) return {};
+  std::string value;
+  for (std::size_t i = start + needle.size(); i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"') return value;
+    if (c != '\\') {
+      value.push_back(c);
+      continue;
+    }
+    EXPECT_LT(++i, json.size()) << "dangling escape";
+    switch (json[i]) {
+      case '"': value.push_back('"'); break;
+      case '\\': value.push_back('\\'); break;
+      case 'n': value.push_back('\n'); break;
+      case 't': value.push_back('\t'); break;
+      case 'u': {
+        EXPECT_LT(i + 4, json.size());
+        value.push_back(static_cast<char>(
+            std::stoi(json.substr(i + 1, 4), nullptr, 16)));
+        i += 4;
+        break;
+      }
+      default:
+        ADD_FAILURE() << "unknown escape \\" << json[i];
+    }
+  }
+  ADD_FAILURE() << "unterminated string for " << key;
+  return value;
+}
+
 TEST(DiagnosticEngine, JsonRenderingEscapesAndRoundTrips) {
+  // Every string field goes through the escaper — including the rule ID,
+  // which used to be interpolated raw (a hostile rule string could break
+  // the report's framing). Round-trip through a real unescape to prove
+  // the original bytes survive, not just that backslashes appear.
+  const std::string message = "clause 'a\"b\\c' wants target:knob";
+  const std::string hint = "tab\there\nand a newline";
+  const std::string rule = "EPP-\"QUOTED\"-001";
   Diagnostics diagnostics;
-  diagnostics.error("EPP-FLT-001", {"<spec>", 0},
-                    "clause 'a\"b\\c' wants target:knob", "tab\there");
+  diagnostics.error(rule, {"<spec>\x01odd", 0}, message, hint);
   const std::string json = lint::render_json(diagnostics);
-  EXPECT_NE(json.find("\"rule\": \"EPP-FLT-001\""), std::string::npos);
   EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
   EXPECT_NE(json.find("tab\\there"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
   EXPECT_NE(json.find("\"line\": 0"), std::string::npos);
+  EXPECT_EQ(json_string_field(json, "rule"), rule);
+  EXPECT_EQ(json_string_field(json, "message"), message);
+  EXPECT_EQ(json_string_field(json, "hint"), hint);
+  EXPECT_EQ(json_string_field(json, "file"), "<spec>\x01odd");
 }
 
 TEST(DiagnosticEngine, FmtValueUsesDefaultPrecision) {
@@ -214,6 +266,42 @@ INSTANTIATE_TEST_SUITE_P(
       return name + "_" + std::to_string(test_info.param.line);
     });
 
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, LintCorpus,
+    ::testing::Values(
+        GoldenCase{"workloads/negative_clients.wkl", "EPP-WKL-001",
+                   Severity::kError, 3, 2},
+        GoldenCase{"workloads/negative_think.wkl", "EPP-WKL-002",
+                   Severity::kError, 3, 2},
+        GoldenCase{"workloads/bad_mix.wkl", "EPP-WKL-003", Severity::kError,
+                   3, 2},
+        GoldenCase{"workloads/empty.wkl", "EPP-WKL-004", Severity::kWarning,
+                   3, 1}),
+    [](const auto& test_info) {
+      std::string name = test_info.param.rule;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name + "_" + std::to_string(test_info.param.line);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultSpecs, LintCorpus,
+    ::testing::Values(
+        GoldenCase{"faults/malformed_clause.fspec", "EPP-FLT-001",
+                   Severity::kError, 3, 2},
+        GoldenCase{"faults/unknown_target.fspec", "EPP-FLT-002",
+                   Severity::kError, 3, 2},
+        GoldenCase{"faults/out_of_range.fspec", "EPP-FLT-003",
+                   Severity::kError, 3, 2},
+        GoldenCase{"faults/duplicate_knob.fspec", "EPP-FLT-004",
+                   Severity::kError, 3, 2}),
+    [](const auto& test_info) {
+      std::string name = test_info.param.rule;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name + "_" + std::to_string(test_info.param.line);
+    });
+
 // --- clean corpus: pipeline artifacts must not trip anything ---------------
 
 TEST(LintCleanCorpus, CalibratedBundleProducesZeroFindings) {
@@ -248,13 +336,33 @@ TEST(LintCleanCorpus, TradeLqnModelExitsZero) {
   EXPECT_EQ(lint::exit_code(diagnostics), 0);
 }
 
+TEST(LintCleanCorpus, WorkloadGridAndFaultSpecFilesAreClean) {
+  Diagnostics grid;
+  lint::lint_artifact_file(
+      std::string(EPP_LINT_CORPUS_DIR) + "/clean/grid.wkl", grid);
+  EXPECT_TRUE(grid.empty()) << lint::render_text(grid);
+
+  Diagnostics faults;
+  lint::lint_artifact_file(
+      std::string(EPP_LINT_CORPUS_DIR) + "/clean/faults.fspec", faults);
+  EXPECT_TRUE(faults.empty()) << lint::render_text(faults);
+}
+
 // --- dispatcher ------------------------------------------------------------
 
 TEST(LintDispatcher, SniffsByExtensionThenContent) {
   EXPECT_EQ(lint::sniff_artifact("x.epp", ""), lint::ArtifactKind::kBundle);
   EXPECT_EQ(lint::sniff_artifact("x.lqn", ""), lint::ArtifactKind::kLqnModel);
+  EXPECT_EQ(lint::sniff_artifact("x.wkl", ""),
+            lint::ArtifactKind::kWorkloadGrid);
+  EXPECT_EQ(lint::sniff_artifact("x.fspec", ""),
+            lint::ArtifactKind::kFaultSpec);
   EXPECT_EQ(lint::sniff_artifact("x.txt", "epp-bundle v1\n"),
             lint::ArtifactKind::kBundle);
+  EXPECT_EQ(lint::sniff_artifact("x.txt", "epp-workloads v1\n"),
+            lint::ArtifactKind::kWorkloadGrid);
+  EXPECT_EQ(lint::sniff_artifact("x.txt", "epp-faults v1\n"),
+            lint::ArtifactKind::kFaultSpec);
   EXPECT_EQ(lint::sniff_artifact("x.txt", "# comment\nprocessor cpu ps\n"),
             lint::ArtifactKind::kLqnModel);
   EXPECT_EQ(lint::sniff_artifact("x.txt", "what is this\n"),

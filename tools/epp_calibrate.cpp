@@ -18,6 +18,7 @@
 
 #include "calib/bundle.hpp"
 #include "lint/lint.hpp"
+#include "lint/verify.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -111,13 +112,16 @@ int main(int argc, char** argv) try {
   const Config config = parse_args(argc, argv);
 
   if (!config.inspect_path.empty()) {
-    // Lint before loading: a defective artifact gets its full findings
-    // list, not just the first parse exception.
+    // Verify before loading: structural lint plus the EPP-SEM semantic
+    // pass, so a defective artifact gets its full findings list (with
+    // counterexample witnesses), not just the first parse exception.
     lint::Diagnostics findings;
-    lint::lint_artifact_file(config.inspect_path, findings);
+    lint::verify_artifact_file(config.inspect_path, lint::VerifyOptions{},
+                               findings);
+    findings.sort_by_location();
     if (!findings.empty()) std::cerr << lint::render_text(findings);
     if (findings.has_errors()) {
-      std::cerr << "epp_calibrate: artifact fails lint with "
+      std::cerr << "epp_calibrate: artifact fails verification with "
                 << findings.count(lint::Severity::kError) << " error(s)\n";
       return 2;
     }
@@ -142,14 +146,16 @@ int main(int argc, char** argv) try {
   calib::save_bundle(config.out_path, bundle);
   std::cout << "wrote " << config.out_path << "\n\n";
   print_summary(bundle);
-  // Self-check: the artifact just written must lint clean (the same
-  // gate epp_sweep applies before consuming it).
+  // Self-check: the artifact just written must pass both the structural
+  // lint and the EPP-SEM semantic verifier (the same gate epp_sweep
+  // applies before consuming it).
   lint::Diagnostics findings;
-  lint::lint_artifact_file(config.out_path, findings);
+  lint::verify_artifact_file(config.out_path, lint::VerifyOptions{}, findings);
+  findings.sort_by_location();
   if (!findings.empty()) std::cerr << lint::render_text(findings);
   if (findings.has_errors()) {
-    std::cerr << "epp_calibrate: freshly written artifact fails lint — "
-                 "this is a calibration bug\n";
+    std::cerr << "epp_calibrate: freshly written artifact fails verification "
+                 "— this is a calibration bug\n";
     return 2;
   }
   return 0;

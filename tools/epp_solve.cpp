@@ -2,7 +2,7 @@
 //
 // Usage:
 //   epp_solve MODEL.lqn [--population NAME=VALUE]... [--rate NAME=VALUE]...
-//             [--tol SECONDS] [--csv]
+//             [--tol SECONDS] [--csv] [--no-verify]
 //
 // Reads a model in the epp::lqn text format (see src/lqn/parser.hpp),
 // optionally overrides reference-task populations / arrival rates, solves
@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "lint/lint.hpp"
+#include "lint/verify.hpp"
 #include "lqn/parser.hpp"
 #include "lqn/solver.hpp"
 #include "util/table.hpp"
@@ -24,7 +25,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " MODEL.lqn [--population NAME=VALUE]... [--rate NAME=VALUE]..."
-               " [--tol SECONDS] [--csv]\n";
+               " [--tol SECONDS] [--csv] [--no-verify]\n";
   std::exit(2);
 }
 
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
   std::vector<Override> populations, rates;
   lqn::SolverOptions options;
   bool csv = false;
+  bool verify = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -68,6 +70,8 @@ int main(int argc, char** argv) {
       options.convergence_tol_s = std::stod(next());
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--no-verify") {
+      verify = false;
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else if (model_path.empty()) {
@@ -118,6 +122,26 @@ int main(int argc, char** argv) {
         return 1;
       }
       model.task(*id).arrival_rate_rps = o.value;
+    }
+
+    // Semantic pre-check (EPP-SEM-010/011/012), run after overrides so the
+    // populations/rates actually being solved are what gets checked: refuse
+    // models the solver would only reject at runtime — saturated open
+    // stations, priority starvation with finite-pool feedback. --no-verify
+    // bypasses the gate for deliberate divergence experiments.
+    if (verify) {
+      lint::Diagnostics findings;
+      const lint::LqnSourceIndex index = lint::index_lqn_source(buffer.str());
+      lint::verify_lqn_model(model, model_path, findings, &index);
+      findings.sort_by_location();
+      if (!findings.empty()) std::cerr << lint::render_text(findings);
+      if (findings.has_errors()) {
+        std::cerr << "epp_solve: semantic verification predicts this model "
+                     "will not solve ("
+                  << findings.count(lint::Severity::kError)
+                  << " error(s)); pass --no-verify to attempt it anyway\n";
+        return 1;
+      }
     }
 
     const lqn::SolveResult result = lqn::LayeredSolver(options).solve(model);

@@ -40,6 +40,7 @@
 #include "calib/seeds.hpp"
 #include "core/trade_model.hpp"
 #include "lint/lint.hpp"
+#include "lint/verify.hpp"
 #include "svc/batch_predictor.hpp"
 #include "svc/fault.hpp"
 #include "svc/resilient.hpp"
@@ -214,6 +215,7 @@ int main(int argc, char** argv) try {
   for (const double buy_pct : config.buy_pcts)
     core::lint_workload(mixed_load(config.loads.front(), buy_pct),
                         {"<grid>", 0}, findings);
+  findings.sort_by_location();
   if (!findings.empty()) std::cerr << lint::render_text(findings);
   if (findings.has_errors()) {
     std::cerr << "epp_sweep: refusing to run with "
@@ -238,6 +240,33 @@ int main(int argc, char** argv) try {
             << util::fmt(calibration_timer.elapsed_ms(),
                          config.artifact.load_path.empty() ? 0 : 2)
             << " ms\n";
+
+  // --- semantic pre-flight: the EPP-SEM verifier over the bundle the
+  // sweep is about to serve from, under this run's serving options -------
+  {
+    lint::VerifyOptions verify_options;
+    verify_options.methods = config.methods;
+    verify_options.check_chains = config.resilient();
+    if (config.resilient()) {
+      verify_options.resilience.deadline_s = config.deadline_ms / 1e3;
+      if (config.max_retries)
+        verify_options.resilience.max_retries = *config.max_retries;
+    }
+    const std::string label = config.artifact.load_path.empty()
+                                  ? "<calibrated>"
+                                  : config.artifact.load_path;
+    lint::Diagnostics semantic;
+    lint::verify_bundle(bundle, label, nullptr, verify_options, semantic);
+    semantic.sort_by_location();
+    if (!semantic.empty()) std::cerr << lint::render_text(semantic);
+    if (semantic.has_errors()) {
+      std::cerr << "epp_sweep: refusing to serve from a bundle with "
+                << semantic.count(lint::Severity::kError)
+                << " semantic error(s); see epp_verify for the rule "
+                   "catalog\n";
+      return 2;
+    }
+  }
   // Optional deterministic fault injection, wired through BatchOptions.
   std::optional<svc::FaultInjector> injector;
   svc::BatchOptions batch_options;
