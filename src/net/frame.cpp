@@ -1,0 +1,202 @@
+#include "net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace epp::net {
+namespace {
+
+// --- little-endian byte writer/reader (endianness-independent) -----------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t value) {
+  out.push_back(value);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& text) {
+  if (text.size() > 0xFFFF)
+    throw FrameError("frame string field longer than 65535 bytes");
+  put_u16(out, static_cast<std::uint16_t>(text.size()));
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& bytes;
+  std::size_t cursor = 0;
+
+  void need(std::size_t n) const {
+    if (cursor + n > bytes.size())
+      throw FrameError("truncated frame payload (" +
+                       std::to_string(bytes.size()) + " bytes, need " +
+                       std::to_string(cursor + n) + ")");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return bytes[cursor++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t value = static_cast<std::uint16_t>(
+        bytes[cursor] | (static_cast<std::uint16_t>(bytes[cursor + 1]) << 8));
+    cursor += 2;
+    return value;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+      value |= static_cast<std::uint32_t>(bytes[cursor + static_cast<std::size_t>(i)])
+               << (8 * i);
+    cursor += 4;
+    return value;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+      value |= static_cast<std::uint64_t>(bytes[cursor + static_cast<std::size_t>(i)])
+               << (8 * i);
+    cursor += 8;
+    return value;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string string() {
+    const std::uint16_t length = u16();
+    need(length);
+    std::string text(bytes.begin() + static_cast<std::ptrdiff_t>(cursor),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(cursor + length));
+    cursor += length;
+    return text;
+  }
+  void done() const {
+    if (cursor != bytes.size())
+      throw FrameError("trailing bytes after frame payload");
+  }
+};
+
+void check_version(std::uint8_t version) {
+  if (version != kProtocolVersion)
+    throw FrameError("protocol version mismatch: got " +
+                     std::to_string(version) + ", want " +
+                     std::to_string(kProtocolVersion));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const RequestMessage& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + message.server.size());
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(message.kind));
+  put_u64(out, message.id);
+  put_u8(out, message.method);
+  put_f64(out, message.browse_clients);
+  put_f64(out, message.buy_clients);
+  put_f64(out, message.think_time_s);
+  put_f64(out, message.deadline_ms);
+  put_string(out, message.server);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const ResponseMessage& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + message.detail.size());
+  put_u8(out, kProtocolVersion);
+  put_u8(out, 0);  // kind slot: responses are distinguished by direction
+  put_u64(out, message.id);
+  put_u8(out, message.status);
+  put_u8(out, message.error_code);
+  put_u8(out, message.served_by);
+  put_u8(out, message.flags);
+  put_u32(out, message.retries);
+  put_f64(out, message.mean_rt_s);
+  put_f64(out, message.throughput_rps);
+  put_f64(out, message.predictor_latency_s);
+  put_string(out, message.detail);
+  return out;
+}
+
+RequestMessage decode_request(const std::vector<std::uint8_t>& payload) {
+  Reader reader{payload};
+  check_version(reader.u8());
+  const std::uint8_t kind = reader.u8();
+  if (kind < static_cast<std::uint8_t>(MessageKind::kPredict) ||
+      kind > static_cast<std::uint8_t>(MessageKind::kShutdown))
+    throw FrameError("unknown request kind " + std::to_string(kind));
+  RequestMessage message;
+  message.kind = static_cast<MessageKind>(kind);
+  message.id = reader.u64();
+  message.method = reader.u8();
+  message.browse_clients = reader.f64();
+  message.buy_clients = reader.f64();
+  message.think_time_s = reader.f64();
+  message.deadline_ms = reader.f64();
+  message.server = reader.string();
+  reader.done();
+  return message;
+}
+
+ResponseMessage decode_response(const std::vector<std::uint8_t>& payload) {
+  Reader reader{payload};
+  check_version(reader.u8());
+  (void)reader.u8();  // kind slot, unused on the response path
+  ResponseMessage message;
+  message.id = reader.u64();
+  message.status = reader.u8();
+  message.error_code = reader.u8();
+  message.served_by = reader.u8();
+  message.flags = reader.u8();
+  message.retries = reader.u32();
+  message.mean_rt_s = reader.f64();
+  message.throughput_rps = reader.f64();
+  message.predictor_latency_s = reader.f64();
+  message.detail = reader.string();
+  reader.done();
+  return message;
+}
+
+bool write_frame(Socket& socket, const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw FrameError("frame payload exceeds kMaxFrameBytes");
+  std::vector<std::uint8_t> wire;
+  wire.reserve(4 + payload.size());
+  put_u32(wire, static_cast<std::uint32_t>(payload.size()));
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return socket.send_all(wire.data(), wire.size());
+}
+
+bool read_frame(Socket& socket, std::vector<std::uint8_t>& payload) {
+  std::uint8_t header[4];
+  if (!socket.recv_all(header, sizeof(header))) return false;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i)
+    length |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  if (length > kMaxFrameBytes)
+    throw FrameError("incoming frame of " + std::to_string(length) +
+                     " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                     "-byte limit");
+  payload.resize(length);
+  if (length > 0 && !socket.recv_all(payload.data(), length))
+    throw SocketError("recv: peer closed mid-frame");
+  return true;
+}
+
+}  // namespace epp::net

@@ -1,0 +1,99 @@
+// Thin RAII wrappers over POSIX TCP sockets for the serving stack.
+//
+// Scope is deliberately narrow: blocking stream sockets on loopback or
+// LAN, the only transport epp_serve/epp_loadgen need. A Socket owns one
+// connected fd and moves like a unique_ptr; send_all/recv_all loop over
+// partial transfers and EINTR, send uses MSG_NOSIGNAL so a peer that
+// hung up yields an error return instead of SIGPIPE. A Listener binds
+// (port 0 picks an ephemeral port, reported by port()) and blocks in
+// accept() on a poll() over the listening fd plus an internal wake pipe,
+// so interrupt() unblocks a pending accept from any thread — that is the
+// whole graceful-shutdown story at the socket layer.
+//
+// Hard I/O failures throw SocketError; orderly peer shutdown is a normal
+// return (recv_all -> false), because a client closing its connection is
+// not an error for a server.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace epp::net {
+
+/// Unexpected socket-layer failure (bind/listen/connect errors, hard
+/// send/recv errors). Message carries the failing call and errno text.
+struct SocketError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One connected TCP stream. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() noexcept = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Blocking connect to host:port; throws SocketError on failure.
+  static Socket connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// Write exactly n bytes. Returns false when the peer has gone away
+  /// (EPIPE / ECONNRESET); throws SocketError on other failures.
+  bool send_all(const void* data, std::size_t n);
+  /// Read exactly n bytes. Returns false on clean EOF *before the first
+  /// byte*; throws SocketError on mid-message EOF or hard errors.
+  bool recv_all(void* data, std::size_t n);
+
+  /// Half-close the write side (peer sees EOF after draining).
+  void shutdown_write() noexcept;
+  /// Half-close the read side; a reader blocked in recv_all returns EOF
+  /// while pending writes (drained responses) still flush.
+  void shutdown_read() noexcept;
+  /// Shut down both directions; unblocks a recv_all parked in another
+  /// thread (used to stop session readers during server drain).
+  void shutdown_both() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket with interruptible accept.
+class Listener {
+ public:
+  /// Bind host:port (port 0 = ephemeral) and listen; throws SocketError.
+  Listener(const std::string& host, std::uint16_t port, int backlog = 64);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// The bound port (resolves port 0 to the kernel's choice).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Block until a connection arrives (Socket), interrupt() is called or
+  /// the listener is closed (nullopt).
+  std::optional<Socket> accept();
+
+  /// Wake every blocked/future accept() into returning nullopt.
+  /// Async-signal-safe (one write on the wake pipe).
+  void interrupt() noexcept;
+
+ private:
+  int fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace epp::net

@@ -113,6 +113,8 @@ std::string_view error_code_name(ErrorCode code) {
       return "transient-failure";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }
@@ -247,6 +249,13 @@ Outcome ResilientPredictor::predict(const PredictionRequest& request) const {
   return serve(request, nullptr);
 }
 
+Outcome ResilientPredictor::predict_with_deadline(
+    const PredictionRequest& request, double deadline_s) const {
+  if (deadline_s <= 0.0) return serve(request, nullptr);
+  const auto token = util::CancellationToken::after(deadline_s);
+  return serve(request, &token);
+}
+
 Outcome ResilientPredictor::serve(const PredictionRequest& request,
                                   const util::CancellationToken* budget) const {
   counters_.requests.fetch_add(1, std::memory_order_relaxed);
@@ -360,9 +369,7 @@ Outcome ResilientPredictor::serve(const PredictionRequest& request,
           // this one was already a fallback. Cache replays skip the store
           // (their fresh evaluation already made the entry), which keeps
           // the all-hit fast path lock-free.
-          const CacheKey key = engine_.cache_key(request);
-          const std::unique_lock lock(stale_mutex_);
-          stale_[key] = StaleEntry{prediction, method};
+          stale_store(engine_.cache_key(request), prediction, method);
         }
 
         counters_.served.fetch_add(1, std::memory_order_relaxed);
@@ -441,6 +448,30 @@ Outcome ResilientPredictor::serve(const PredictionRequest& request,
   if (primary_error) return *primary_error;
   return PredictionError{ErrorCode::kInternal, request.method, request.server,
                          "no method attempted"};
+}
+
+void ResilientPredictor::stale_store(const CacheKey& key,
+                                     const PredictionResult& prediction,
+                                     Method served_by) const {
+  const std::unique_lock lock(stale_mutex_);
+  const auto it = stale_.find(key);
+  if (it != stale_.end()) {
+    // Overwrite refreshes the entry's age: a key that keeps producing
+    // fresh results is exactly the one worth keeping under pressure.
+    it->second.prediction = prediction;
+    it->second.served_by = served_by;
+    stale_order_.splice(stale_order_.end(), stale_order_, it->second.order);
+    return;
+  }
+  if (options_.stale_capacity > 0 &&
+      stale_.size() >= options_.stale_capacity) {
+    const CacheKey& victim = stale_order_.front();
+    stale_.erase(victim);
+    stale_order_.pop_front();
+    counters_.stale_evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto order = stale_order_.insert(stale_order_.end(), key);
+  stale_.emplace(key, StaleEntry{prediction, served_by, order});
 }
 
 std::vector<Outcome> ResilientPredictor::predict_batch(
@@ -538,6 +569,11 @@ BreakerState ResilientPredictor::breaker_state(
       it->second->state.load(std::memory_order_acquire));
 }
 
+std::size_t ResilientPredictor::stale_size() const {
+  const std::shared_lock lock(stale_mutex_);
+  return stale_.size();
+}
+
 ResilienceStats ResilientPredictor::stats() const {
   ResilienceStats stats;
   stats.requests = counters_.requests.load(std::memory_order_relaxed);
@@ -546,6 +582,8 @@ ResilienceStats ResilientPredictor::stats() const {
   stats.retries = counters_.retries.load(std::memory_order_relaxed);
   stats.fallbacks = counters_.fallbacks.load(std::memory_order_relaxed);
   stats.stale_serves = counters_.stale_serves.load(std::memory_order_relaxed);
+  stats.stale_evictions =
+      counters_.stale_evictions.load(std::memory_order_relaxed);
   stats.deadline_hits = counters_.deadline_hits.load(std::memory_order_relaxed);
   stats.breaker_rejections =
       counters_.breaker_rejections.load(std::memory_order_relaxed);
@@ -562,6 +600,7 @@ void ResilientPredictor::reset() {
   {
     const std::unique_lock lock(stale_mutex_);
     stale_.clear();
+    stale_order_.clear();
   }
   counters_.requests.store(0, std::memory_order_relaxed);
   counters_.served.store(0, std::memory_order_relaxed);
@@ -569,6 +608,7 @@ void ResilientPredictor::reset() {
   counters_.retries.store(0, std::memory_order_relaxed);
   counters_.fallbacks.store(0, std::memory_order_relaxed);
   counters_.stale_serves.store(0, std::memory_order_relaxed);
+  counters_.stale_evictions.store(0, std::memory_order_relaxed);
   counters_.deadline_hits.store(0, std::memory_order_relaxed);
   counters_.breaker_rejections.store(0, std::memory_order_relaxed);
   counters_.breaker_opens.store(0, std::memory_order_relaxed);

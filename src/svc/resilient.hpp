@@ -31,7 +31,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -61,6 +63,7 @@ enum class ErrorCode {
   kInvalidWorkload,   // workload failed boundary validation
   kTransientFailure,  // transient fault persisted through all retries
   kInternal,          // anything else (bug shield, never expected)
+  kOverloaded,        // admission control shed the request (epp_serve)
 };
 
 std::string_view error_code_name(ErrorCode code);
@@ -143,6 +146,12 @@ struct ResilienceOptions {
   /// request is freshly evaluated (cache replays already have one), so
   /// the all-cache-hit fast path pays no store.
   bool serve_stale = true;
+  /// Entries the stale store may hold before evicting in insertion order
+  /// (refreshed on overwrite, so it approximates LRU-by-write). One-shot
+  /// sweeps never notice the bound; a long-running daemon needs it — the
+  /// store is keyed by quantized request and would otherwise grow with
+  /// every distinct workload ever served. 0 means unbounded.
+  std::size_t stale_capacity = 4096;
   /// Degrade lqn -> hybrid -> historical when the requested method fails.
   bool fallback_enabled = true;
 };
@@ -155,6 +164,7 @@ struct ResilienceStats {
   std::uint64_t retries = 0;
   std::uint64_t fallbacks = 0;        // served by a non-requested method
   std::uint64_t stale_serves = 0;
+  std::uint64_t stale_evictions = 0;  // entries dropped by the capacity bound
   std::uint64_t deadline_hits = 0;
   std::uint64_t breaker_rejections = 0;  // calls refused while open
   std::uint64_t breaker_opens = 0;       // closed/half-open -> open edges
@@ -170,6 +180,14 @@ class ResilientPredictor {
   /// the fallback chain and the stale store. Never throws on request
   /// failure. Thread-safe.
   Outcome predict(const PredictionRequest& request) const;
+
+  /// Serve one request under a caller-supplied deadline that overrides
+  /// options().deadline_s for this call only — the serving daemon maps
+  /// per-request protocol deadlines through here onto the same
+  /// cancellation machinery batch budgets use. deadline_s <= 0 falls back
+  /// to the configured deadline.
+  Outcome predict_with_deadline(const PredictionRequest& request,
+                                double deadline_s) const;
 
   /// Serve every request (fanned out on `pool` when given). When
   /// batch_budget_s > 0 the whole batch shares that budget on top of the
@@ -192,6 +210,10 @@ class ResilientPredictor {
   BreakerState breaker_state(Method method, const std::string& server) const;
 
   ResilienceStats stats() const;
+  /// Entries currently held by the stale store (<= stale_capacity when
+  /// the bound is armed). Takes the store lock; intended for tests and
+  /// the serving daemon's stats endpoint, not hot paths.
+  std::size_t stale_size() const;
   /// Drop breakers, stale entries and counters (not the engine's cache).
   void reset();
 
@@ -208,7 +230,14 @@ class ResilientPredictor {
   struct StaleEntry {
     PredictionResult prediction;
     Method served_by = Method::kHistorical;
+    /// Position in stale_order_ (for O(1) refresh and eviction).
+    std::list<CacheKey>::iterator order;
   };
+
+  /// Record a fresh result under the store's capacity bound; evicts the
+  /// oldest entry (insertion order, refreshed on overwrite) when full.
+  void stale_store(const CacheKey& key, const PredictionResult& prediction,
+                   Method served_by) const;
 
   Outcome serve(const PredictionRequest& request,
                 const util::CancellationToken* budget) const;
@@ -239,6 +268,8 @@ class ResilientPredictor {
 
   mutable std::shared_mutex stale_mutex_;
   mutable std::unordered_map<CacheKey, StaleEntry, CacheKeyHash> stale_;
+  /// Insertion order of stale_ keys, oldest first (eviction victims).
+  mutable std::list<CacheKey> stale_order_;
 
   mutable std::atomic<std::uint64_t> jitter_counter_{0};
 
@@ -249,6 +280,7 @@ class ResilientPredictor {
     std::atomic<std::uint64_t> retries{0};
     std::atomic<std::uint64_t> fallbacks{0};
     std::atomic<std::uint64_t> stale_serves{0};
+    std::atomic<std::uint64_t> stale_evictions{0};
     std::atomic<std::uint64_t> deadline_hits{0};
     std::atomic<std::uint64_t> breaker_rejections{0};
     std::atomic<std::uint64_t> breaker_opens{0};

@@ -1,0 +1,185 @@
+// The prediction serving daemon core: a long-running concurrent TCP
+// server wrapping ResilientPredictor behind the length-prefixed binary
+// protocol in src/net/frame.hpp.
+//
+// Thread model (all threads are owned and joined by this class):
+//
+//   * one accept thread — accepts connections and spawns one session
+//     reader per connection (bounded by max_connections; excess
+//     connections are closed immediately);
+//   * one reader thread per live session — decodes frames and either
+//     answers control frames inline (ping/stats/shutdown) or enqueues
+//     predict work on the bounded dispatch queue;
+//   * a fixed pool of worker threads — pop queued requests, evaluate
+//     them through the ResilientPredictor (per-request protocol
+//     deadlines ride the existing svc cancellation machinery), and
+//     write the response under the session's write lock, so concurrent
+//     workers can interleave responses on one connection safely
+//     (responses carry the request id; clients match, not order).
+//
+// Admission control: the dispatch queue is bounded. When it is full the
+// reader thread sheds the request *immediately* with a typed
+// ErrorCode::kOverloaded response instead of queueing without bound —
+// under overload clients see fast failures, not a latency collapse.
+//
+// Graceful shutdown (request_stop or a kShutdown frame): stop accepting,
+// stop reading new frames, let the workers drain every request already
+// admitted, flush those responses, then close the sessions. In-flight
+// work is never dropped; only unread bytes are.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "svc/resilient.hpp"
+
+namespace epp::svc {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read back with port()
+  /// Fixed worker threads evaluating predictions.
+  std::size_t workers = 4;
+  /// Bounded dispatch queue; a full queue sheds with kOverloaded.
+  std::size_t queue_capacity = 256;
+  /// Live sessions beyond this are closed at accept.
+  std::size_t max_connections = 256;
+  /// Cap on the per-request deadline a client may ask for (seconds);
+  /// larger requests are clamped. 0 disables per-request deadlines.
+  double max_request_deadline_s = 10.0;
+  /// Test hook: sleep this long in the worker before each evaluation,
+  /// to provoke queue buildup/shedding deterministically. Never set in
+  /// production paths.
+  double worker_delay_s = 0.0;
+};
+
+/// Counters since start(). Queue depth is instantaneous.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  // over max_connections
+  std::uint64_t frames_received = 0;
+  std::uint64_t requests_enqueued = 0;
+  std::uint64_t requests_served = 0;   // responses written by workers
+  std::uint64_t requests_shed = 0;     // kOverloaded at admission
+  std::uint64_t bad_frames = 0;        // undecodable payloads
+  std::uint64_t responses_dropped = 0; // peer gone before the write
+  std::size_t queue_depth = 0;
+  std::size_t queue_peak = 0;
+  std::size_t open_sessions = 0;
+};
+
+class PredictionServer {
+ public:
+  /// Non-owning: the predictor (and everything under it) must outlive
+  /// the server.
+  PredictionServer(const ResilientPredictor& predictor,
+                   ServerOptions options = {});
+  ~PredictionServer();
+
+  PredictionServer(const PredictionServer&) = delete;
+  PredictionServer& operator=(const PredictionServer&) = delete;
+
+  /// Bind, listen and spawn the accept + worker threads. Throws
+  /// net::SocketError when the address cannot be bound.
+  void start();
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Begin graceful shutdown: stop accepting and reading, let workers
+  /// drain the admitted queue. Safe from any thread, including session
+  /// readers (a kShutdown frame calls this). Idempotent.
+  void request_stop();
+
+  /// True once request_stop() ran (or a kShutdown frame arrived).
+  bool stopping() const noexcept {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+  /// Block until the drain completes and every thread is joined. Must
+  /// not be called from a server-owned thread. Idempotent.
+  void wait();
+
+  /// request_stop() + wait().
+  void stop();
+
+  ServerStats stats() const;
+
+ private:
+  struct Session {
+    net::Socket socket;
+    std::mutex write_mutex;
+    std::atomic<bool> dead{false};
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  struct WorkItem {
+    SessionPtr session;
+    net::RequestMessage request;
+  };
+
+  void accept_loop();
+  void session_loop(SessionPtr session);
+  void worker_loop();
+  /// Serialize and send under the session write lock; counts drops.
+  void write_response(Session& session, const net::ResponseMessage& response);
+  void handle_control(Session& session, const net::RequestMessage& request);
+  net::ResponseMessage evaluate(const net::RequestMessage& request);
+  /// Reap finished session-reader threads (called from the accept loop).
+  void reap_sessions(bool all);
+
+  const ResilientPredictor& predictor_;
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+
+  std::unique_ptr<net::Listener> listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  struct SessionHandle {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+    std::weak_ptr<Session> session;  // for the shutdown read-side broadcast
+  };
+  std::mutex sessions_mutex_;
+  std::list<SessionHandle> session_threads_;
+  std::atomic<std::size_t> open_sessions_{0};
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  /// Set by wait() once every reader is joined (the queue can no longer
+  /// grow); workers drain what is left, then exit.
+  std::atomic<bool> workers_stop_{false};
+  std::atomic<bool> joined_{false};
+  std::mutex lifecycle_mutex_;  // serializes wait()/stop() callers
+
+  struct Counters {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_rejected{0};
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> requests_enqueued{0};
+    std::atomic<std::uint64_t> requests_served{0};
+    std::atomic<std::uint64_t> requests_shed{0};
+    std::atomic<std::uint64_t> bad_frames{0};
+    std::atomic<std::uint64_t> responses_dropped{0};
+    std::atomic<std::size_t> queue_peak{0};
+  };
+  mutable Counters counters_;
+};
+
+}  // namespace epp::svc

@@ -1,0 +1,121 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <system_error>
+
+namespace epp::util::cli {
+namespace {
+
+[[noreturn]] void fail(std::string_view flag, const std::string& message,
+                       std::string_view text) {
+  throw UsageError(std::string(flag) + ": " + message + ", got '" +
+                   std::string(text) + "'");
+}
+
+std::vector<std::string_view> split_fields(std::string_view spec, char sep) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = spec.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(spec.substr(start));
+      return fields;
+    }
+    fields.push_back(spec.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+double parse_double(std::string_view flag, std::string_view text) {
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || text.empty())
+    fail(flag, "expected a number", text);
+  if (!std::isfinite(value)) fail(flag, "expected a finite number", text);
+  return value;
+}
+
+double parse_double_at_least(std::string_view flag, std::string_view text,
+                             double min) {
+  const double value = parse_double(flag, text);
+  if (value < min)
+    fail(flag, "expected a number >= " + std::to_string(min), text);
+  return value;
+}
+
+double parse_positive_double(std::string_view flag, std::string_view text) {
+  const double value = parse_double(flag, text);
+  if (!(value > 0.0)) fail(flag, "expected a positive number", text);
+  return value;
+}
+
+long long parse_int(std::string_view flag, std::string_view text,
+                    long long min, long long max) {
+  long long value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range)
+    fail(flag, "integer out of range", text);
+  if (ec != std::errc{} || ptr != last || text.empty())
+    fail(flag, "expected an integer", text);
+  if (value < min || value > max)
+    fail(flag,
+         "expected an integer in [" + std::to_string(min) + ", " +
+             std::to_string(max) + "]",
+         text);
+  return value;
+}
+
+std::size_t parse_size(std::string_view flag, std::string_view text,
+                       std::size_t min) {
+  const long long value =
+      parse_int(flag, text, 0, std::numeric_limits<long long>::max());
+  if (static_cast<std::size_t>(value) < min)
+    fail(flag, "expected an integer >= " + std::to_string(min), text);
+  return static_cast<std::size_t>(value);
+}
+
+std::vector<double> parse_range(std::string_view flag, std::string_view spec) {
+  const auto fields = split_fields(spec, ':');
+  if (fields.size() != 3) fail(flag, "expected lo:hi:step", spec);
+  const double lo = parse_double(flag, fields[0]);
+  const double hi = parse_double(flag, fields[1]);
+  const double step = parse_double(flag, fields[2]);
+  if (!(step > 0.0))
+    throw UsageError(std::string(flag) + ": step must be > 0 in '" +
+                     std::string(spec) + "'");
+  if (hi < lo)
+    throw UsageError(std::string(flag) + ": hi < lo in '" + std::string(spec) +
+                     "' (wants lo:hi:step with lo <= hi)");
+  const double span = (hi - lo) / step;
+  if (span > static_cast<double>(kMaxRangePoints))
+    throw UsageError(std::string(flag) + ": '" + std::string(spec) +
+                     "' expands to more than " +
+                     std::to_string(kMaxRangePoints) + " points");
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(span) + 1);
+  for (double v = lo; v <= hi + 1e-9 * std::max(1.0, step); v += step)
+    values.push_back(v);
+  return values;
+}
+
+std::vector<double> parse_double_list(std::string_view flag,
+                                      std::string_view spec) {
+  std::vector<double> values;
+  for (const std::string_view field : split_fields(spec, ',')) {
+    if (field.empty()) continue;  // tolerate "1,,2" and trailing commas
+    values.push_back(parse_double(flag, field));
+  }
+  if (values.empty()) fail(flag, "expected a non-empty number list", spec);
+  return values;
+}
+
+}  // namespace epp::util::cli

@@ -1,0 +1,61 @@
+// Checked command-line value parsing shared by every tool.
+//
+// Bare std::stod / std::stoi accept trailing junk ("10x" parses as 10)
+// and escape as raw std::invalid_argument("stod") when the value is
+// hopeless — a daemon flag like `--deadline-ms abc` used to surface as
+// an unexplained crash or a misleading usage dump. Every helper here
+// parses the *whole* token, rejects non-finite values, enforces the
+// advertised bounds, and names the offending flag in the error message
+// so `epp_serve --queue-depth banana` says exactly what was wrong.
+//
+// All helpers throw util::cli::UsageError (an invalid_argument) — tools
+// catch it at top level and print usage.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace epp::util::cli {
+
+/// A malformed flag value. what() always starts with the flag name.
+struct UsageError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Parse a finite double from the whole token; "--flag: expected a
+/// number, got 'abc'" on anything else (junk suffixes included).
+double parse_double(std::string_view flag, std::string_view text);
+
+/// parse_double plus a bound check.
+double parse_double_at_least(std::string_view flag, std::string_view text,
+                             double min);
+/// parse_double requiring value > 0.
+double parse_positive_double(std::string_view flag, std::string_view text);
+
+/// Parse a whole-token integer in [min, max].
+long long parse_int(std::string_view flag, std::string_view text,
+                    long long min, long long max);
+
+/// Non-negative size with a lower bound (e.g. 1 for thread counts).
+std::size_t parse_size(std::string_view flag, std::string_view text,
+                       std::size_t min = 0);
+
+/// Expand a "lo:hi:step" range spec into the inclusive grid
+/// {lo, lo+step, ...}. Rejects malformed fields, step <= 0 (the old
+/// expansion looped forever), hi < lo (silently empty before), and
+/// ranges expanding past kMaxRangePoints.
+std::vector<double> parse_range(std::string_view flag, std::string_view spec);
+
+/// Largest grid parse_range will expand; beyond this the spec is almost
+/// certainly a typo (e.g. a step in the wrong unit) and is refused.
+inline constexpr std::size_t kMaxRangePoints = 1'000'000;
+
+/// Parse a comma-separated list of finite doubles; rejects empty lists
+/// and malformed elements.
+std::vector<double> parse_double_list(std::string_view flag,
+                                      std::string_view spec);
+
+}  // namespace epp::util::cli

@@ -1,0 +1,204 @@
+// Wire protocol: encode/decode round-trips, malformed-payload rejection
+// and framing over a real loopback socket pair.
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace epp::net {
+namespace {
+
+RequestMessage sample_request() {
+  RequestMessage request;
+  request.kind = MessageKind::kPredict;
+  request.id = 0x0123456789ABCDEFULL;
+  request.method = 2;
+  request.browse_clients = 800.0;
+  request.buy_clients = 200.0;
+  request.think_time_s = 7.0;
+  request.deadline_ms = 250.5;
+  request.server = "AppServVF";
+  return request;
+}
+
+ResponseMessage sample_response() {
+  ResponseMessage response;
+  response.id = 42;
+  response.status = 1;
+  response.error_code = 7;
+  response.served_by = 1;
+  response.flags = kFlagFallback | kFlagStale;
+  response.retries = 3;
+  response.mean_rt_s = 0.125;
+  response.throughput_rps = 96.5;
+  response.predictor_latency_s = 0.0005;
+  response.detail = "transient fault persisted";
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+// ---------------------------------------------------------------------------
+
+TEST(NetFrame, RequestRoundTripsExactly) {
+  const RequestMessage request = sample_request();
+  const RequestMessage decoded = decode_request(encode_request(request));
+  EXPECT_EQ(decoded.kind, request.kind);
+  EXPECT_EQ(decoded.id, request.id);
+  EXPECT_EQ(decoded.method, request.method);
+  // Doubles travel as IEEE-754 bit patterns: exact, not approximate.
+  EXPECT_EQ(decoded.browse_clients, request.browse_clients);
+  EXPECT_EQ(decoded.buy_clients, request.buy_clients);
+  EXPECT_EQ(decoded.think_time_s, request.think_time_s);
+  EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded.server, request.server);
+}
+
+TEST(NetFrame, ResponseRoundTripsExactly) {
+  const ResponseMessage response = sample_response();
+  const ResponseMessage decoded = decode_response(encode_response(response));
+  EXPECT_EQ(decoded.id, response.id);
+  EXPECT_EQ(decoded.status, response.status);
+  EXPECT_EQ(decoded.error_code, response.error_code);
+  EXPECT_EQ(decoded.served_by, response.served_by);
+  EXPECT_EQ(decoded.flags, response.flags);
+  EXPECT_EQ(decoded.retries, response.retries);
+  EXPECT_EQ(decoded.mean_rt_s, response.mean_rt_s);
+  EXPECT_EQ(decoded.throughput_rps, response.throughput_rps);
+  EXPECT_EQ(decoded.predictor_latency_s, response.predictor_latency_s);
+  EXPECT_EQ(decoded.detail, response.detail);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(NetFrame, ControlKindsRoundTrip) {
+  for (const MessageKind kind :
+       {MessageKind::kPing, MessageKind::kStats, MessageKind::kShutdown}) {
+    RequestMessage request;
+    request.kind = kind;
+    request.id = 9;
+    EXPECT_EQ(decode_request(encode_request(request)).kind, kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed payloads.
+// ---------------------------------------------------------------------------
+
+TEST(NetFrame, RejectsWrongVersion) {
+  std::vector<std::uint8_t> payload = encode_request(sample_request());
+  payload[0] = kProtocolVersion + 1;
+  EXPECT_THROW(decode_request(payload), FrameError);
+}
+
+TEST(NetFrame, RejectsUnknownKind) {
+  std::vector<std::uint8_t> payload = encode_request(sample_request());
+  payload[1] = 99;
+  EXPECT_THROW(decode_request(payload), FrameError);
+}
+
+TEST(NetFrame, RejectsTruncationAndTrailingBytes) {
+  std::vector<std::uint8_t> payload = encode_request(sample_request());
+  std::vector<std::uint8_t> truncated(payload.begin(), payload.end() - 3);
+  EXPECT_THROW(decode_request(truncated), FrameError);
+  std::vector<std::uint8_t> padded = payload;
+  padded.push_back(0);
+  EXPECT_THROW(decode_request(padded), FrameError);
+  EXPECT_THROW(decode_request({}), FrameError);
+  // A string length pointing past the payload end must not read past it.
+  std::vector<std::uint8_t> lying = payload;
+  lying[lying.size() - sample_request().server.size() - 2] = 0xFF;
+  EXPECT_THROW(decode_request(lying), FrameError);
+}
+
+TEST(NetFrame, RejectsTruncatedResponse) {
+  std::vector<std::uint8_t> payload = encode_response(sample_response());
+  std::vector<std::uint8_t> truncated(payload.begin(), payload.end() - 1);
+  EXPECT_THROW(decode_response(truncated), FrameError);
+}
+
+// ---------------------------------------------------------------------------
+// Framing over a real socket pair.
+// ---------------------------------------------------------------------------
+
+struct LoopbackPair {
+  Listener listener{"127.0.0.1", 0};
+  Socket client;
+  Socket server;
+
+  LoopbackPair() {
+    std::thread connector(
+        [this] { client = Socket::connect("127.0.0.1", listener.port()); });
+    std::optional<Socket> accepted = listener.accept();
+    connector.join();
+    EXPECT_TRUE(accepted.has_value());
+    server = std::move(*accepted);
+  }
+};
+
+TEST(NetFrame, FramesTravelAcrossLoopback) {
+  LoopbackPair pair;
+  ASSERT_TRUE(write_frame(pair.client, encode_request(sample_request())));
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(read_frame(pair.server, payload));
+  EXPECT_EQ(decode_request(payload).server, "AppServVF");
+
+  ASSERT_TRUE(write_frame(pair.server, encode_response(sample_response())));
+  ASSERT_TRUE(read_frame(pair.client, payload));
+  EXPECT_EQ(decode_response(payload).retries, 3u);
+}
+
+TEST(NetFrame, CleanEofReadsAsFalse) {
+  LoopbackPair pair;
+  pair.client.shutdown_write();
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(read_frame(pair.server, payload));
+}
+
+TEST(NetFrame, OversizedLengthPrefixIsRefusedBeforeAllocation) {
+  LoopbackPair pair;
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  const std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(huge & 0xFF),
+      static_cast<std::uint8_t>((huge >> 8) & 0xFF),
+      static_cast<std::uint8_t>((huge >> 16) & 0xFF),
+      static_cast<std::uint8_t>((huge >> 24) & 0xFF)};
+  ASSERT_TRUE(pair.client.send_all(header, sizeof header));
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW(read_frame(pair.server, payload), FrameError);
+}
+
+TEST(NetFrame, TruncationMidFrameThrows) {
+  LoopbackPair pair;
+  const std::vector<std::uint8_t> encoded = encode_request(sample_request());
+  const std::uint32_t length = static_cast<std::uint32_t>(encoded.size());
+  const std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(length & 0xFF),
+      static_cast<std::uint8_t>((length >> 8) & 0xFF),
+      static_cast<std::uint8_t>((length >> 16) & 0xFF),
+      static_cast<std::uint8_t>((length >> 24) & 0xFF)};
+  ASSERT_TRUE(pair.client.send_all(header, sizeof header));
+  ASSERT_TRUE(pair.client.send_all(encoded.data(), encoded.size() / 2));
+  pair.client.shutdown_write();  // peer dies mid-frame
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW(read_frame(pair.server, payload), SocketError);
+}
+
+TEST(NetFrame, ListenerInterruptUnblocksAccept) {
+  Listener listener("127.0.0.1", 0);
+  std::optional<Socket> result;
+  std::thread acceptor([&] { result = listener.accept(); });
+  listener.interrupt();
+  acceptor.join();
+  EXPECT_FALSE(result.has_value());
+  // interrupt() is sticky: later accepts return immediately too.
+  EXPECT_FALSE(listener.accept().has_value());
+}
+
+}  // namespace
+}  // namespace epp::net

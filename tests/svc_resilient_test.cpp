@@ -519,6 +519,110 @@ TEST(ResilientPredictor, VirtualLatencyDeadlineThenStaleReplay) {
   EXPECT_EQ(cold.error().code, ErrorCode::kDeadlineExceeded);
 }
 
+TEST(ResilientPredictor, StaleStoreIsBoundedAndCountsEvictions) {
+  // Regression: the stale store was unbounded — a long-running daemon
+  // serving distinct workloads grew it without limit. With the bound
+  // armed it must hold at most stale_capacity entries and count what it
+  // dropped.
+  const auto engine = make_engine();
+  ResilienceOptions options;
+  options.stale_capacity = 3;
+  ResilientPredictor resilient(*engine, options);
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(resilient
+                    .predict({Method::kLqn, "AppServF",
+                              browse_load(100.0 + 50.0 * i)})
+                    .ok())
+        << i;
+  EXPECT_EQ(resilient.stale_size(), 3u);
+  EXPECT_EQ(resilient.stats().stale_evictions, 7u);
+
+  // reset() empties the store and the eviction order alongside it.
+  resilient.reset();
+  EXPECT_EQ(resilient.stale_size(), 0u);
+  EXPECT_EQ(resilient.stats().stale_evictions, 0u);
+}
+
+TEST(ResilientPredictor, ZeroStaleCapacityMeansUnbounded) {
+  const auto engine = make_engine();
+  ResilienceOptions options;
+  options.stale_capacity = 0;
+  const ResilientPredictor resilient(*engine, options);
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(resilient
+                    .predict({Method::kLqn, "AppServF",
+                              browse_load(100.0 + 50.0 * i)})
+                    .ok())
+        << i;
+  EXPECT_EQ(resilient.stale_size(), 10u);
+  EXPECT_EQ(resilient.stats().stale_evictions, 0u);
+}
+
+TEST(ResilientPredictor, EvictionDropsOldestAndOverwriteRefreshes) {
+  // Re-evaluating a workload refreshes its slot (approximate
+  // LRU-by-write), so the victim is the *least recently written* entry,
+  // and the survivor still replays stale under chaos while the victim
+  // surfaces the typed deadline error.
+  FaultConfig config;
+  config.lqn.latency_s = 1000.0;  // virtual seconds; nothing sleeps
+  FaultInjector injector(config);
+  injector.set_enabled(false);
+  BatchOptions batch_options;
+  batch_options.fault = &injector;
+  batch_options.cache_capacity_per_shard = 1;  // 1-entry engine cache so
+  batch_options.cache_shards = 1;              // repeats re-evaluate
+  const auto engine = make_engine(batch_options);
+  ResilienceOptions options;
+  options.deadline_s = 0.050;
+  options.stale_capacity = 2;
+  options.fallback_enabled = false;
+  const ResilientPredictor resilient(*engine, options);
+
+  const PredictionRequest a{Method::kLqn, "AppServF", browse_load(400.0)};
+  const PredictionRequest b{Method::kLqn, "AppServF", browse_load(500.0)};
+  const PredictionRequest c{Method::kLqn, "AppServF", browse_load(600.0)};
+  ASSERT_TRUE(resilient.predict(a).ok());  // order: [a]
+  ASSERT_TRUE(resilient.predict(b).ok());  // order: [a, b]
+  ASSERT_TRUE(resilient.predict(c).ok());  // full: evict a -> [b, c]
+  EXPECT_EQ(resilient.stale_size(), 2u);
+  EXPECT_EQ(resilient.stats().stale_evictions, 1u);
+  ASSERT_TRUE(resilient.predict(b).ok());  // refresh: [c, b]
+  EXPECT_EQ(resilient.stale_size(), 2u);
+  EXPECT_EQ(resilient.stats().stale_evictions, 1u)
+      << "an overwrite must refresh in place, not evict";
+  ASSERT_TRUE(resilient.predict(a).ok());  // evict c (b was refreshed)
+  EXPECT_EQ(resilient.stats().stale_evictions, 2u);
+
+  // Chaos on: b survived the refresh and replays stale; c was evicted
+  // and dies with the typed deadline error.
+  injector.set_enabled(true);
+  const Outcome stale_b = resilient.predict(b);
+  ASSERT_TRUE(stale_b.ok());
+  EXPECT_TRUE(stale_b.value().stale);
+  const Outcome cold_c = resilient.predict(c);
+  ASSERT_FALSE(cold_c.ok());
+  EXPECT_EQ(cold_c.error().code, ErrorCode::kDeadlineExceeded);
+}
+
+TEST(ResilientPredictor, PredictWithDeadlineOverridesConfiguredDeadline) {
+  // The serving daemon's per-request protocol deadlines ride this
+  // entry point: an impossible caller deadline must fail a request that
+  // succeeds under the (unset) configured deadline.
+  const auto engine = make_engine();
+  ResilienceOptions options;
+  options.fallback_enabled = false;
+  options.serve_stale = false;
+  const ResilientPredictor resilient(*engine, options);
+  const PredictionRequest request{Method::kLqn, "AppServF",
+                                  browse_load(750.0)};
+  const Outcome impossible = resilient.predict_with_deadline(request, 1e-12);
+  ASSERT_FALSE(impossible.ok());
+  EXPECT_EQ(impossible.error().code, ErrorCode::kDeadlineExceeded);
+  // deadline_s <= 0 falls back to the configured (disabled) deadline.
+  EXPECT_TRUE(resilient.predict_with_deadline(request, 0.0).ok());
+  EXPECT_TRUE(resilient.predict_with_deadline(request, 5.0).ok());
+}
+
 TEST(ResilientPredictor, DeadlineNeverOpensTheBreaker) {
   FaultConfig config;
   config.lqn.latency_s = 1000.0;

@@ -1,0 +1,395 @@
+// Serving daemon core: loopback round trips, admission control (bounded
+// queue, shed with typed kOverloaded), per-request protocol deadlines,
+// control frames, connection caps and graceful drain. Calibrated without
+// the simulator (same fixture as the resilient suite) so every scenario
+// is fast and exact.
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/historical_predictor.hpp"
+#include "core/hybrid_predictor.hpp"
+#include "core/lqn_predictor.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "svc/batch_predictor.hpp"
+#include "svc/resilient.hpp"
+
+namespace epp::svc {
+namespace {
+
+core::TradeCalibration test_calibration() {
+  core::TradeCalibration cal;
+  cal.browse = {0.005376, 0.00083, 0.00040, 1.14};
+  cal.buy = {0.010455, 0.00161, 0.00050, 2.0};
+  return cal;
+}
+
+struct Predictors {
+  static constexpr double kGradient = 0.14;
+  core::LqnPredictor lqn{test_calibration()};
+  core::HybridPredictor hybrid{test_calibration()};
+  core::HistoricalPredictor historical{kGradient};
+
+  Predictors() {
+    for (const auto& arch :
+         {core::arch_s(), core::arch_f(), core::arch_vf()}) {
+      lqn.register_server(arch);
+      hybrid.register_server(arch);
+    }
+    for (const char* name : {"AppServF", "AppServVF"}) {
+      const double max_tput = lqn.predict_max_throughput_rps(name, 0.0);
+      const double n_star = max_tput / kGradient;
+      const std::vector<hydra::DataPoint> lower{
+          lqn.pseudo_point(name, 0.25 * n_star),
+          lqn.pseudo_point(name, 0.60 * n_star)};
+      const std::vector<hydra::DataPoint> upper{
+          lqn.pseudo_point(name, 1.25 * n_star),
+          lqn.pseudo_point(name, 1.70 * n_star)};
+      historical.calibrate_established(name, lower, upper, max_tput);
+    }
+    historical.register_new_server(
+        "AppServS", lqn.predict_max_throughput_rps("AppServS", 0.0));
+  }
+};
+
+Predictors& predictors() {
+  static Predictors p;
+  return p;
+}
+
+/// A server over a fresh engine + resilient layer, bound to an ephemeral
+/// loopback port and started. Each fixture instance is fully isolated.
+struct ServerFixture {
+  std::unique_ptr<BatchPredictor> engine;
+  std::unique_ptr<ResilientPredictor> predictor;
+  std::unique_ptr<PredictionServer> server;
+
+  explicit ServerFixture(ServerOptions options = {},
+                         ResilienceOptions resilience = {}) {
+    Predictors& p = predictors();
+    engine = std::make_unique<BatchPredictor>(&p.historical, &p.lqn,
+                                              &p.hybrid, BatchOptions{});
+    predictor = std::make_unique<ResilientPredictor>(*engine, resilience);
+    server = std::make_unique<PredictionServer>(*predictor, options);
+    server->start();
+  }
+
+  net::Socket connect() const {
+    return net::Socket::connect("127.0.0.1", server->port());
+  }
+};
+
+net::RequestMessage predict_request(std::uint64_t id, Method method,
+                                    const std::string& server,
+                                    double browse_clients,
+                                    double deadline_ms = 0.0) {
+  net::RequestMessage request;
+  request.kind = net::MessageKind::kPredict;
+  request.id = id;
+  request.method = static_cast<std::uint8_t>(method);
+  request.browse_clients = browse_clients;
+  request.deadline_ms = deadline_ms;
+  request.server = server;
+  return request;
+}
+
+void send(net::Socket& socket, const net::RequestMessage& request) {
+  ASSERT_TRUE(net::write_frame(socket, net::encode_request(request)));
+}
+
+std::optional<net::ResponseMessage> receive(net::Socket& socket) {
+  std::vector<std::uint8_t> payload;
+  if (!net::read_frame(socket, payload)) return std::nullopt;
+  return net::decode_response(payload);
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+// ---------------------------------------------------------------------------
+
+TEST(PredictionServer, ServesAllMethodsOverLoopback) {
+  ServerFixture fixture;
+  net::Socket client = fixture.connect();
+  std::uint64_t id = 100;
+  for (const Method method :
+       {Method::kHistorical, Method::kLqn, Method::kHybrid}) {
+    for (const char* server : {"AppServS", "AppServF", "AppServVF"}) {
+      send(client, predict_request(++id, method, server, 400.0));
+      const auto response = receive(client);
+      ASSERT_TRUE(response.has_value());
+      EXPECT_EQ(response->id, id);
+      ASSERT_TRUE(response->ok()) << response->detail;
+      EXPECT_EQ(response->served_by, static_cast<std::uint8_t>(method));
+      EXPECT_EQ(response->flags & net::kFlagFallback, 0);
+      EXPECT_GT(response->mean_rt_s, 0.0);
+      EXPECT_GT(response->throughput_rps, 0.0);
+      EXPECT_GE(response->predictor_latency_s, 0.0);
+    }
+  }
+}
+
+TEST(PredictionServer, PipelinedRequestsAllAnsweredById) {
+  // Fire a burst without reading, then match responses by id: with
+  // several workers interleaving on one connection, order is not
+  // guaranteed but identity and completeness are.
+  ServerFixture fixture(ServerOptions{.workers = 4});
+  net::Socket client = fixture.connect();
+  constexpr std::uint64_t kRequests = 32;
+  for (std::uint64_t id = 1; id <= kRequests; ++id)
+    send(client, predict_request(id, Method::kHistorical, "AppServF",
+                                 200.0 + 10.0 * static_cast<double>(id)));
+  std::map<std::uint64_t, net::ResponseMessage> responses;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    const auto response = receive(client);
+    ASSERT_TRUE(response.has_value());
+    responses.emplace(response->id, *response);
+  }
+  ASSERT_EQ(responses.size(), kRequests);
+  for (std::uint64_t id = 1; id <= kRequests; ++id) {
+    ASSERT_TRUE(responses.count(id)) << "response " << id << " missing";
+    EXPECT_TRUE(responses.at(id).ok()) << responses.at(id).detail;
+  }
+}
+
+TEST(PredictionServer, SecondIdenticalRequestIsACacheHit) {
+  ServerFixture fixture;
+  net::Socket client = fixture.connect();
+  send(client, predict_request(1, Method::kLqn, "AppServF", 640.0));
+  const auto first = receive(client);
+  ASSERT_TRUE(first.has_value() && first->ok());
+  send(client, predict_request(2, Method::kLqn, "AppServF", 640.0));
+  const auto second = receive(client);
+  ASSERT_TRUE(second.has_value() && second->ok());
+  EXPECT_EQ(second->flags & net::kFlagCached, net::kFlagCached);
+  EXPECT_EQ(second->mean_rt_s, first->mean_rt_s);
+}
+
+// ---------------------------------------------------------------------------
+// Typed errors.
+// ---------------------------------------------------------------------------
+
+TEST(PredictionServer, UnknownMethodByteGetsInvalidWorkload) {
+  ServerFixture fixture;
+  net::Socket client = fixture.connect();
+  net::RequestMessage request =
+      predict_request(7, Method::kHistorical, "AppServF", 100.0);
+  request.method = 9;
+  send(client, request);
+  const auto response = receive(client);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->ok());
+  EXPECT_EQ(response->error_code,
+            static_cast<std::uint8_t>(ErrorCode::kInvalidWorkload));
+}
+
+TEST(PredictionServer, UnknownServerGetsNotCalibrated) {
+  ServerFixture fixture;
+  net::Socket client = fixture.connect();
+  send(client, predict_request(8, Method::kLqn, "NoSuchServer", 100.0));
+  const auto response = receive(client);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->ok());
+  EXPECT_EQ(response->error_code,
+            static_cast<std::uint8_t>(ErrorCode::kNotCalibrated));
+}
+
+TEST(PredictionServer, ExpiredProtocolDeadlineGetsDeadlineExceeded) {
+  // A deadline too small to evaluate anything maps through
+  // predict_with_deadline onto the svc cancellation machinery; disable
+  // fallback + stale so the typed deadline error surfaces directly.
+  ResilienceOptions resilience;
+  resilience.fallback_enabled = false;
+  resilience.serve_stale = false;
+  ServerFixture fixture(ServerOptions{}, resilience);
+  net::Socket client = fixture.connect();
+  send(client,
+       predict_request(9, Method::kLqn, "AppServF", 900.0, /*deadline_ms=*/1e-6));
+  const auto response = receive(client);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_FALSE(response->ok()) << "a 1 ns deadline cannot be met";
+  EXPECT_EQ(response->error_code,
+            static_cast<std::uint8_t>(ErrorCode::kDeadlineExceeded));
+}
+
+TEST(PredictionServer, MalformedFrameClosesTheSessionWithAnError) {
+  ServerFixture fixture;
+  net::Socket client = fixture.connect();
+  const std::vector<std::uint8_t> garbage{0xFF, 0x00, 0xAB};
+  ASSERT_TRUE(net::write_frame(client, garbage));
+  const auto response = receive(client);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->ok());
+  EXPECT_EQ(response->error_code,
+            static_cast<std::uint8_t>(ErrorCode::kInternal));
+  // The stream is desynchronized: the server hangs up after answering.
+  EXPECT_FALSE(receive(client).has_value());
+  EXPECT_GE(fixture.server->stats().bad_frames, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------------
+
+TEST(PredictionServer, OverloadShedsWithTypedOverloadedError) {
+  // One slow worker (50 ms per evaluation via the test hook) and a
+  // 1-deep queue: a burst must come back as a few served plus many
+  // typed kOverloaded sheds — never an unbounded backlog, and every
+  // request gets *some* response.
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.worker_delay_s = 0.05;
+  ServerFixture fixture(options);
+  net::Socket client = fixture.connect();
+  constexpr std::uint64_t kBurst = 12;
+  for (std::uint64_t id = 1; id <= kBurst; ++id)
+    send(client, predict_request(id, Method::kHistorical, "AppServF", 300.0));
+  std::uint64_t ok = 0, shed = 0;
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    const auto response = receive(client);
+    ASSERT_TRUE(response.has_value());
+    if (response->ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(response->error_code,
+                static_cast<std::uint8_t>(ErrorCode::kOverloaded))
+          << response->detail;
+      EXPECT_NE(response->detail.find("queue full"), std::string::npos)
+          << response->detail;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GE(shed, 1u) << "burst never overflowed the 1-deep queue";
+  EXPECT_GE(ok, 1u) << "admitted requests must still be served";
+  const ServerStats stats = fixture.server->stats();
+  EXPECT_EQ(stats.requests_shed, shed);
+  EXPECT_EQ(stats.requests_enqueued, ok);
+}
+
+TEST(PredictionServer, ConnectionsBeyondTheCapAreClosed) {
+  ServerOptions options;
+  options.max_connections = 1;
+  ServerFixture fixture(options);
+  net::Socket first = fixture.connect();
+  // Prove the first session is live before the second connects.
+  net::RequestMessage ping;
+  ping.kind = net::MessageKind::kPing;
+  ping.id = 1;
+  send(first, ping);
+  ASSERT_TRUE(receive(first).has_value());
+
+  net::Socket second = fixture.connect();
+  // The server closes the excess connection without a frame: EOF.
+  EXPECT_FALSE(receive(second).has_value());
+  EXPECT_GE(fixture.server->stats().connections_rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Control frames.
+// ---------------------------------------------------------------------------
+
+TEST(PredictionServer, PingAndStatsAnswerInline) {
+  ServerFixture fixture;
+  net::Socket client = fixture.connect();
+  net::RequestMessage ping;
+  ping.kind = net::MessageKind::kPing;
+  ping.id = 77;
+  send(client, ping);
+  const auto pong = receive(client);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->id, 77u);
+  EXPECT_TRUE(pong->ok());
+
+  send(client, predict_request(78, Method::kHistorical, "AppServF", 250.0));
+  ASSERT_TRUE(receive(client).has_value());
+
+  net::RequestMessage stats;
+  stats.kind = net::MessageKind::kStats;
+  stats.id = 79;
+  send(client, stats);
+  const auto reply = receive(client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok());
+  EXPECT_NE(reply->detail.find("requests_served="), std::string::npos)
+      << reply->detail;
+  EXPECT_NE(reply->detail.find("stale_evictions="), std::string::npos)
+      << reply->detail;
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain.
+// ---------------------------------------------------------------------------
+
+TEST(PredictionServer, ShutdownFrameDrainsAdmittedWorkThenCloses) {
+  // Pipeline predicts behind a slow worker, then a shutdown frame. Every
+  // admitted request must still be answered (the ack + drain contract),
+  // then the connection reaches EOF and wait() returns.
+  ServerOptions options;
+  options.workers = 1;
+  options.worker_delay_s = 0.02;
+  ServerFixture fixture(options);
+  net::Socket client = fixture.connect();
+  constexpr std::uint64_t kRequests = 5;
+  for (std::uint64_t id = 1; id <= kRequests; ++id)
+    send(client, predict_request(id, Method::kHistorical, "AppServF", 300.0));
+  net::RequestMessage shutdown;
+  shutdown.kind = net::MessageKind::kShutdown;
+  shutdown.id = 99;
+  send(client, shutdown);
+
+  std::uint64_t predict_responses = 0;
+  bool shutdown_acked = false;
+  while (const auto response = receive(client)) {
+    if (response->id == 99) {
+      shutdown_acked = true;
+      EXPECT_EQ(response->detail, "draining");
+    } else {
+      EXPECT_TRUE(response->ok()) << response->detail;
+      ++predict_responses;
+    }
+  }
+  EXPECT_TRUE(shutdown_acked);
+  EXPECT_EQ(predict_responses, kRequests)
+      << "admitted requests were dropped during drain";
+
+  EXPECT_TRUE(fixture.server->stopping());
+  fixture.server->wait();
+  const ServerStats stats = fixture.server->stats();
+  EXPECT_EQ(stats.requests_served, kRequests);
+  EXPECT_EQ(stats.queue_depth, 0u) << "drain left work in the queue";
+  EXPECT_EQ(stats.open_sessions, 0u);
+}
+
+TEST(PredictionServer, StopFromOwnerThreadDrainsAndJoins) {
+  ServerOptions options;
+  options.workers = 2;
+  ServerFixture fixture(options);
+  net::Socket client = fixture.connect();
+  for (std::uint64_t id = 1; id <= 8; ++id)
+    send(client, predict_request(id, Method::kHybrid, "AppServVF", 350.0));
+  // Give the reader a moment to admit, then stop; stop() must join
+  // everything without deadlock and serve whatever was admitted.
+  fixture.server->stop();
+  const ServerStats stats = fixture.server->stats();
+  EXPECT_EQ(stats.requests_served, stats.requests_enqueued);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // Idempotent: a second stop is a no-op.
+  fixture.server->stop();
+}
+
+TEST(PredictionServer, DoubleStartThrows) {
+  ServerFixture fixture;
+  EXPECT_THROW(fixture.server->start(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace epp::svc

@@ -1,0 +1,159 @@
+// Checked CLI parsing: whole-token numbers with flag-named errors.
+//
+// These are the regression tests for the bare-std::stod bugs the
+// helpers replaced: "10x" silently parsing as 10, `--tol abc` escaping
+// as an uncaught std::invalid_argument("stod"), `lo:hi:step` ranges
+// with step <= 0 looping forever and hi < lo expanding to an empty
+// grid without a word. Pre-fix code fails every "named error" and
+// "junk suffix" expectation here.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace epp::util::cli {
+namespace {
+
+template <typename Fn>
+std::string message_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const UsageError& error) {
+    return error.what();
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// parse_double and bounded variants.
+// ---------------------------------------------------------------------------
+
+TEST(CliParse, ParsesPlainAndScientificDoubles) {
+  EXPECT_DOUBLE_EQ(parse_double("--x", "2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("--x", "-0.125"), -0.125);
+  EXPECT_DOUBLE_EQ(parse_double("--x", "1e3"), 1000.0);
+}
+
+TEST(CliParse, RejectsJunkSuffixThatStodAccepted) {
+  // std::stod("10x") returns 10; the checked parser must refuse it.
+  EXPECT_THROW(parse_double("--deadline-ms", "10x"), UsageError);
+  EXPECT_THROW(parse_double("--deadline-ms", "1.5.2"), UsageError);
+  EXPECT_THROW(parse_double("--deadline-ms", ""), UsageError);
+  EXPECT_THROW(parse_double("--deadline-ms", "banana"), UsageError);
+}
+
+TEST(CliParse, RejectsNonFiniteDoubles) {
+  EXPECT_THROW(parse_double("--x", "inf"), UsageError);
+  EXPECT_THROW(parse_double("--x", "nan"), UsageError);
+  EXPECT_THROW(parse_double("--x", "1e999"), UsageError);
+}
+
+TEST(CliParse, ErrorsNameTheFlagAndTheValue) {
+  const std::string what =
+      message_of([] { parse_double("--deadline-ms", "abc"); });
+  EXPECT_NE(what.find("--deadline-ms"), std::string::npos) << what;
+  EXPECT_NE(what.find("'abc'"), std::string::npos) << what;
+}
+
+TEST(CliParse, BoundedVariantsEnforceTheirBounds) {
+  EXPECT_DOUBLE_EQ(parse_positive_double("--x", "0.1"), 0.1);
+  EXPECT_THROW(parse_positive_double("--x", "0"), UsageError);
+  EXPECT_THROW(parse_positive_double("--x", "-1"), UsageError);
+  EXPECT_DOUBLE_EQ(parse_double_at_least("--x", "0", 0.0), 0.0);
+  EXPECT_THROW(parse_double_at_least("--x", "-0.5", 0.0), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// parse_int / parse_size.
+// ---------------------------------------------------------------------------
+
+TEST(CliParse, ParsesIntegersWithinBounds) {
+  EXPECT_EQ(parse_int("--port", "8080", 0, 65535), 8080);
+  EXPECT_EQ(parse_int("--n", "-3", -10, 10), -3);
+}
+
+TEST(CliParse, RejectsIntegerJunkRangeAndOverflow) {
+  EXPECT_THROW(parse_int("--port", "80a", 0, 65535), UsageError);
+  EXPECT_THROW(parse_int("--port", "8.5", 0, 65535), UsageError);
+  EXPECT_THROW(parse_int("--port", "70000", 0, 65535), UsageError);
+  EXPECT_THROW(parse_int("--port", "99999999999999999999", 0, 65535),
+               UsageError);
+  const std::string what =
+      message_of([] { parse_int("--port", "70000", 0, 65535); });
+  EXPECT_NE(what.find("[0, 65535]"), std::string::npos) << what;
+}
+
+TEST(CliParse, SizeEnforcesLowerBoundAndRejectsNegatives) {
+  EXPECT_EQ(parse_size("--threads", "4", 1), 4u);
+  EXPECT_THROW(parse_size("--threads", "0", 1), UsageError);
+  EXPECT_THROW(parse_size("--threads", "-2", 1), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// parse_range: the lo:hi:step expansion.
+// ---------------------------------------------------------------------------
+
+TEST(CliParse, ExpandsInclusiveRange) {
+  const std::vector<double> loads = parse_range("--loads", "200:1400:100");
+  ASSERT_EQ(loads.size(), 13u);
+  EXPECT_DOUBLE_EQ(loads.front(), 200.0);
+  EXPECT_DOUBLE_EQ(loads.back(), 1400.0);
+}
+
+TEST(CliParse, SingletonRangeWhenLoEqualsHi) {
+  const std::vector<double> one = parse_range("--loads", "500:500:100");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.front(), 500.0);
+}
+
+TEST(CliParse, RangeRejectsNonPositiveStepWithNamedError) {
+  // step = 0 used to loop forever; step < 0 walked backwards forever.
+  EXPECT_THROW(parse_range("--loads", "100:200:0"), UsageError);
+  EXPECT_THROW(parse_range("--loads", "100:200:-5"), UsageError);
+  const std::string what =
+      message_of([] { parse_range("--loads", "100:200:0"); });
+  EXPECT_NE(what.find("--loads"), std::string::npos) << what;
+  EXPECT_NE(what.find("step must be > 0"), std::string::npos) << what;
+}
+
+TEST(CliParse, RangeRejectsHiBelowLoWithNamedError) {
+  EXPECT_THROW(parse_range("--loads", "1400:200:100"), UsageError);
+  const std::string what =
+      message_of([] { parse_range("--loads", "1400:200:100"); });
+  EXPECT_NE(what.find("hi < lo"), std::string::npos) << what;
+}
+
+TEST(CliParse, RangeRejectsMalformedSpecAndFields) {
+  EXPECT_THROW(parse_range("--loads", "100:200"), UsageError);
+  EXPECT_THROW(parse_range("--loads", "100:200:50:25"), UsageError);
+  EXPECT_THROW(parse_range("--loads", "a:200:50"), UsageError);
+  EXPECT_THROW(parse_range("--loads", "100:2OO:50"), UsageError);
+}
+
+TEST(CliParse, RangeRefusesAbsurdExpansions) {
+  // A step in the wrong unit (1e-6 instead of 100) would allocate
+  // hundreds of millions of grid points; refuse past kMaxRangePoints.
+  EXPECT_THROW(parse_range("--loads", "0:1000000000:0.5"), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// parse_double_list.
+// ---------------------------------------------------------------------------
+
+TEST(CliParse, ParsesCommaSeparatedList) {
+  const std::vector<double> buys = parse_double_list("--buys", "0,25,50");
+  ASSERT_EQ(buys.size(), 3u);
+  EXPECT_DOUBLE_EQ(buys[1], 25.0);
+}
+
+TEST(CliParse, ListToleratesEmptyFieldsButNotJunkOrEmptiness) {
+  EXPECT_EQ(parse_double_list("--buys", "1,,2,").size(), 2u);
+  EXPECT_THROW(parse_double_list("--buys", "1,x,2"), UsageError);
+  EXPECT_THROW(parse_double_list("--buys", ""), UsageError);
+  EXPECT_THROW(parse_double_list("--buys", ",,"), UsageError);
+}
+
+}  // namespace
+}  // namespace epp::util::cli

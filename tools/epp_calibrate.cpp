@@ -19,6 +19,7 @@
 #include "calib/bundle.hpp"
 #include "lint/lint.hpp"
 #include "lint/verify.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -26,6 +27,7 @@
 namespace {
 
 using namespace epp;
+namespace cli = util::cli;
 
 struct Config {
   std::string out_path = "trade.epp";
@@ -60,9 +62,7 @@ Config parse_args(int argc, char** argv) {
     } else if (arg == "--no-mix") {
       config.measure_mix = false;
     } else if (arg == "--threads") {
-      config.threads = std::stoul(value());
-      if (config.threads == 0)
-        throw std::invalid_argument("--threads wants at least 1");
+      config.threads = cli::parse_size(arg, value(), 1);
     } else {
       throw std::invalid_argument("unknown argument: " + std::string(arg));
     }

@@ -1,0 +1,228 @@
+// epp_serve — the long-running prediction daemon.
+//
+// Wraps the calibrated BatchPredictor/ResilientPredictor stack behind
+// the length-prefixed binary protocol (src/net/frame.hpp) on a TCP
+// socket and serves until a signal or a client's shutdown frame. This is
+// the paper's capacity-planning engine as an actual service: a resource
+// manager (or epp_loadgen) connects, streams prediction requests at
+// production rates, and gets typed outcomes back — fallback/stale
+// flagged, overload shed with `overloaded` instead of queueing without
+// bound, per-request deadlines riding the svc cancellation machinery.
+//
+// The bundle is acquired exactly like epp_sweep: cold-calibrated from
+// the simulated testbed, or warm-loaded in milliseconds with --bundle.
+// Both paths run the structural lint + EPP-SEM semantic gates first; a
+// daemon should refuse a defective bundle at startup, not serve garbage
+// for a week.
+//
+// Usage:
+//   epp_serve [--port P] [--host H] [--workers N] [--queue-depth N]
+//             [--max-connections N] [--deadline-ms MS] [--max-retries N]
+//             [--stale-capacity N] [--fault-spec SPEC]
+//             [--bundle FILE] [--save-bundle FILE] [--threads N]
+//
+// Prints exactly one "listening on HOST:PORT" line to stdout once ready
+// (scripts and CI scrape it), then stats lines to stderr on shutdown.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "calib/bundle.hpp"
+#include "calib/predictor_set.hpp"
+#include "calib/seeds.hpp"
+#include "lint/lint.hpp"
+#include "lint/verify.hpp"
+#include "svc/fault.hpp"
+#include "svc/resilient.hpp"
+#include "svc/server.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace epp;
+namespace cli = util::cli;
+
+std::atomic<bool> g_signalled{false};
+
+void on_signal(int) { g_signalled.store(true, std::memory_order_release); }
+
+struct ServeConfig {
+  svc::ServerOptions server;
+  double deadline_ms = 0.0;
+  std::optional<int> max_retries;
+  std::size_t stale_capacity = 4096;
+  std::string fault_spec;
+  std::size_t threads = std::max(1u, std::thread::hardware_concurrency());
+  calib::ArtifactCli artifact;
+};
+
+int usage(std::ostream& out) {
+  out << "usage: epp_serve [--port P] [--host H] [--workers N]\n"
+         "                 [--queue-depth N] [--max-connections N]\n"
+         "                 [--deadline-ms MS] [--max-retries N]\n"
+         "                 [--stale-capacity N] [--fault-spec SPEC]\n"
+         "                 [--bundle FILE] [--save-bundle FILE] [--threads N]\n\n"
+         "Serves predictions over the length-prefixed binary protocol\n"
+         "(see src/net/frame.hpp). --port 0 (default) picks an ephemeral\n"
+         "port, reported on stdout as 'listening on HOST:PORT'. Warm-start\n"
+         "with --bundle to skip calibration; --threads sizes the one-time\n"
+         "calibration pool, --workers the serving worker pool. A full\n"
+         "dispatch queue sheds requests with the typed 'overloaded' error.\n"
+         "Stop with SIGINT/SIGTERM or a client shutdown frame; in-flight\n"
+         "requests drain before exit. Drive it with epp_loadgen.\n";
+  return 1;
+}
+
+ServeConfig parse_args(int argc, char** argv) {
+  ServeConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc)
+        throw std::invalid_argument(std::string(arg) + " wants a value");
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      config.server.port =
+          static_cast<std::uint16_t>(cli::parse_int(arg, value(), 0, 65535));
+    } else if (arg == "--host") {
+      config.server.host = value();
+    } else if (arg == "--workers") {
+      config.server.workers = cli::parse_size(arg, value(), 1);
+    } else if (arg == "--queue-depth") {
+      config.server.queue_capacity = cli::parse_size(arg, value(), 1);
+    } else if (arg == "--max-connections") {
+      config.server.max_connections = cli::parse_size(arg, value(), 1);
+    } else if (arg == "--deadline-ms") {
+      config.deadline_ms = cli::parse_positive_double(arg, value());
+    } else if (arg == "--max-retries") {
+      config.max_retries =
+          static_cast<int>(cli::parse_int(arg, value(), 0, 1000));
+    } else if (arg == "--stale-capacity") {
+      config.stale_capacity = cli::parse_size(arg, value());
+    } else if (arg == "--fault-spec") {
+      config.fault_spec = value();
+    } else if (arg == "--threads") {
+      config.threads = cli::parse_size(arg, value(), 1);
+    } else if (arg == "--bundle") {
+      config.artifact.load_path = value();
+    } else if (arg == "--save-bundle") {
+      config.artifact.save_path = value();
+    } else {
+      throw std::invalid_argument("unknown argument: " + std::string(arg));
+    }
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const ServeConfig config = parse_args(argc, argv);
+
+  // --- pre-run gates: structural lint + EPP-SEM, as in epp_sweep --------
+  lint::Diagnostics findings;
+  if (!config.artifact.load_path.empty())
+    lint::lint_artifact_file(config.artifact.load_path, findings);
+  if (!config.fault_spec.empty())
+    svc::lint_fault_spec(config.fault_spec, {"<fault-spec>", 0}, findings);
+  findings.sort_by_location();
+  if (!findings.empty()) std::cerr << lint::render_text(findings);
+  if (findings.has_errors()) {
+    std::cerr << "epp_serve: refusing to start with "
+              << findings.count(lint::Severity::kError) << " lint error(s)\n";
+    return 2;
+  }
+
+  util::ThreadPool pool(config.threads);
+  calib::CalibrationOptions calibration_options;
+  calibration_options.pool = &pool;
+  if (config.artifact.load_path.empty())
+    std::cerr << "calibrating from the simulated testbed...\n";
+  const util::Timer calibration_timer;
+  const calib::CalibrationBundle bundle =
+      calib::acquire_bundle(config.artifact, calibration_options);
+  std::cerr << (config.artifact.load_path.empty()
+                    ? "calibrated in "
+                    : "warm start: loaded bundle in ")
+            << calibration_timer.elapsed_ms() << " ms\n";
+
+  {
+    lint::VerifyOptions verify_options;
+    verify_options.check_chains = true;
+    if (config.deadline_ms > 0.0)
+      verify_options.resilience.deadline_s = config.deadline_ms / 1e3;
+    lint::Diagnostics semantic;
+    lint::verify_bundle(bundle,
+                        config.artifact.load_path.empty()
+                            ? "<calibrated>"
+                            : config.artifact.load_path,
+                        nullptr, verify_options, semantic);
+    semantic.sort_by_location();
+    if (!semantic.empty()) std::cerr << lint::render_text(semantic);
+    if (semantic.has_errors()) {
+      std::cerr << "epp_serve: refusing to serve from a bundle with "
+                << semantic.count(lint::Severity::kError)
+                << " semantic error(s)\n";
+      return 2;
+    }
+  }
+
+  // --- predictor stack ---------------------------------------------------
+  std::optional<svc::FaultInjector> injector;
+  svc::BatchOptions batch_options;
+  if (!config.fault_spec.empty()) {
+    injector.emplace(svc::parse_fault_spec(config.fault_spec),
+                     calib::kFaultInjectionSeed);
+    batch_options.fault = &*injector;
+  }
+  const calib::PredictorSet set = calib::make_predictors(bundle, batch_options);
+
+  svc::ResilienceOptions resilience;
+  resilience.deadline_s = config.deadline_ms / 1e3;
+  if (config.max_retries) resilience.max_retries = *config.max_retries;
+  resilience.stale_capacity = config.stale_capacity;
+  resilience.jitter_seed = calib::kRetryJitterSeed;
+  const svc::ResilientPredictor predictor(*set.batch, resilience);
+
+  svc::PredictionServer server(predictor, config.server);
+  server.start();
+  std::cout << "listening on " << config.server.host << ":" << server.port()
+            << std::endl;  // flushed: readiness line for scripts/CI
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_signalled.load(std::memory_order_acquire) && !server.stopping())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::cerr << "epp_serve: draining...\n";
+  server.stop();
+
+  const svc::ServerStats server_stats = server.stats();
+  const svc::ResilienceStats resilience_stats = predictor.stats();
+  std::cerr << "served " << server_stats.requests_served << " of "
+            << server_stats.requests_enqueued << " admitted ("
+            << server_stats.requests_shed << " shed, "
+            << server_stats.bad_frames << " bad frames, peak queue "
+            << server_stats.queue_peak << ") over "
+            << server_stats.connections_accepted << " connection(s)\n";
+  std::cerr << "resilience: " << resilience_stats.served << " served / "
+            << resilience_stats.errors << " errors; "
+            << resilience_stats.retries << " retries, "
+            << resilience_stats.fallbacks << " fallbacks, "
+            << resilience_stats.stale_serves << " stale ("
+            << resilience_stats.stale_evictions << " evicted), "
+            << resilience_stats.deadline_hits << " deadline, "
+            << resilience_stats.breaker_opens << " breaker opens\n";
+  return 0;
+} catch (const std::exception& error) {
+  std::cerr << "epp_serve: " << error.what() << "\n\n";
+  return usage(std::cerr);
+}

@@ -18,9 +18,12 @@
 #include "lint/verify.hpp"
 #include "lqn/parser.hpp"
 #include "lqn/solver.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
+
+namespace cli = epp::util::cli;
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
@@ -34,14 +37,11 @@ struct Override {
   double value;
 };
 
-Override parse_override(const std::string& arg, const char* argv0) {
+Override parse_override(const std::string& flag, const std::string& arg) {
   const auto eq = arg.find('=');
-  if (eq == std::string::npos || eq == 0) usage(argv0);
-  try {
-    return {arg.substr(0, eq), std::stod(arg.substr(eq + 1))};
-  } catch (const std::exception&) {
-    usage(argv0);
-  }
+  if (eq == std::string::npos || eq == 0)
+    throw cli::UsageError(flag + ": wants NAME=VALUE, got '" + arg + "'");
+  return {arg.substr(0, eq), cli::parse_double(flag, arg.substr(eq + 1))};
 }
 
 }  // namespace
@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool verify = true;
 
+  try {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -63,11 +64,11 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--population") {
-      populations.push_back(parse_override(next(), argv[0]));
+      populations.push_back(parse_override(arg, next()));
     } else if (arg == "--rate") {
-      rates.push_back(parse_override(next(), argv[0]));
+      rates.push_back(parse_override(arg, next()));
     } else if (arg == "--tol") {
-      options.convergence_tol_s = std::stod(next());
+      options.convergence_tol_s = cli::parse_positive_double(arg, next());
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--no-verify") {
@@ -79,6 +80,10 @@ int main(int argc, char** argv) {
     } else {
       usage(argv[0]);
     }
+  }
+  } catch (const cli::UsageError& error) {
+    std::cerr << "epp_solve: " << error.what() << '\n';
+    usage(argv[0]);
   }
   if (model_path.empty()) usage(argv[0]);
 

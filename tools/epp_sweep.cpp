@@ -44,6 +44,7 @@
 #include "svc/batch_predictor.hpp"
 #include "svc/fault.hpp"
 #include "svc/resilient.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -51,6 +52,7 @@
 namespace {
 
 using namespace epp;
+namespace cli = util::cli;
 
 struct SweepConfig {
   std::vector<double> loads;
@@ -84,27 +86,6 @@ std::vector<std::string> split(const std::string& text, char sep) {
   return parts;
 }
 
-std::vector<double> parse_range(const std::string& spec) {
-  const auto parts = split(spec, ':');
-  if (parts.size() != 3)
-    throw std::invalid_argument("--loads wants lo:hi:step, got '" + spec + "'");
-  const double lo = std::stod(parts[0]);
-  const double hi = std::stod(parts[1]);
-  const double step = std::stod(parts[2]);
-  if (step <= 0.0 || hi < lo)
-    throw std::invalid_argument("--loads wants lo<=hi and step>0");
-  std::vector<double> loads;
-  for (double v = lo; v <= hi + 1e-9; v += step) loads.push_back(v);
-  return loads;
-}
-
-std::vector<double> parse_doubles(const std::string& spec) {
-  std::vector<double> values;
-  for (const std::string& part : split(spec, ',')) values.push_back(std::stod(part));
-  if (values.empty()) throw std::invalid_argument("empty list: '" + spec + "'");
-  return values;
-}
-
 int usage(std::ostream& out) {
   out << "usage: epp_sweep [--loads lo:hi:step] [--buys p1,p2,...]\n"
          "                 [--methods historical,lqn,hybrid]\n"
@@ -131,7 +112,7 @@ int usage(std::ostream& out) {
 
 SweepConfig parse_args(int argc, char** argv) {
   SweepConfig config;
-  config.loads = parse_range("200:1400:100");
+  config.loads = cli::parse_range("--loads", "200:1400:100");
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto value = [&]() -> std::string {
@@ -140,9 +121,9 @@ SweepConfig parse_args(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--loads") {
-      config.loads = parse_range(value());
+      config.loads = cli::parse_range(arg, value());
     } else if (arg == "--buys") {
-      config.buy_pcts = parse_doubles(value());
+      config.buy_pcts = cli::parse_double_list(arg, value());
     } else if (arg == "--methods") {
       config.methods.clear();
       for (const std::string& name : split(value(), ','))
@@ -154,27 +135,18 @@ SweepConfig parse_args(int argc, char** argv) {
       if (config.servers.empty())
         throw std::invalid_argument("--servers wants at least one server");
     } else if (arg == "--threads") {
-      config.threads = std::stoul(value());
-      if (config.threads == 0)
-        throw std::invalid_argument("--threads wants at least 1");
+      config.threads = cli::parse_size(arg, value(), 1);
     } else if (arg == "--passes") {
-      config.passes = std::stoul(value());
-      if (config.passes == 0)
-        throw std::invalid_argument("--passes wants at least 1");
+      config.passes = cli::parse_size(arg, value(), 1);
     } else if (arg == "--csv") {
       config.csv = true;
     } else if (arg == "--deadline-ms") {
-      config.deadline_ms = std::stod(value());
-      if (config.deadline_ms <= 0.0)
-        throw std::invalid_argument("--deadline-ms wants a positive value");
+      config.deadline_ms = cli::parse_positive_double(arg, value());
     } else if (arg == "--batch-budget-ms") {
-      config.batch_budget_ms = std::stod(value());
-      if (config.batch_budget_ms <= 0.0)
-        throw std::invalid_argument("--batch-budget-ms wants a positive value");
+      config.batch_budget_ms = cli::parse_positive_double(arg, value());
     } else if (arg == "--max-retries") {
-      config.max_retries = std::stoi(value());
-      if (*config.max_retries < 0)
-        throw std::invalid_argument("--max-retries wants >= 0");
+      config.max_retries =
+          static_cast<int>(cli::parse_int(arg, value(), 0, 1000));
     } else if (arg == "--fault-spec") {
       config.fault_spec = value();  // linted pre-run, with the rest
     } else if (arg == "--bundle") {

@@ -21,8 +21,11 @@
 
 #include "lint/diagnostic.hpp"
 #include "lint/verify.hpp"
+#include "util/cli.hpp"
 
 namespace {
+
+namespace cli = epp::util::cli;
 
 int usage(const char* argv0) {
   std::fprintf(
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
   bool json = false;
   epp::lint::VerifyOptions options;
   std::vector<std::string> files;
+  try {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -56,14 +60,11 @@ int main(int argc, char** argv) {
       options.resilience.serve_stale = false;
     } else if (arg == "--breaker-threshold") {
       if (++i >= argc) return usage(argv[0]);
-      options.resilience.breaker_failure_threshold = std::atoi(argv[i]);
+      options.resilience.breaker_failure_threshold =
+          static_cast<int>(cli::parse_int(arg, argv[i], 0, 1'000'000));
     } else if (arg == "--max-clients-factor") {
       if (++i >= argc) return usage(argv[0]);
-      options.max_clients_factor = std::atof(argv[i]);
-      if (!(options.max_clients_factor > 0.0)) {
-        std::fprintf(stderr, "--max-clients-factor must be positive\n");
-        return 2;
-      }
+      options.max_clients_factor = cli::parse_positive_double(arg, argv[i]);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -73,6 +74,10 @@ int main(int argc, char** argv) {
     } else {
       files.push_back(arg);
     }
+  }
+  } catch (const cli::UsageError& error) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+    return usage(argv[0]);
   }
   if (files.empty()) return usage(argv[0]);
 
