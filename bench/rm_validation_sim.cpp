@@ -15,6 +15,7 @@
 
 #include "common.hpp"
 #include "rm/manager.hpp"
+#include "sim/replicate.hpp"
 #include "sim/trade/cluster.hpp"
 #include "util/table.hpp"
 
@@ -59,12 +60,19 @@ int main() {
     // The shared-DB section below quantifies what happens without it.
     cluster.db_speed = 4.0;
     cluster.disk_speed = 4.0;
-    const auto result = sim::trade::run_cluster(cluster);
+    // Four independent replications fanned out on the bench pool; the
+    // merged result is bit-identical however many threads execute them.
+    sim::ReplicationOptions reps;
+    reps.replications = 4;
+    reps.pool = &setup.pool;
+    const auto replicated = sim::run_cluster_replications(cluster, reps);
+    const auto& result = replicated.summary;
 
     std::cout << "-- slack " << util::fmt(slack, 2) << " (unallocated scaled: "
               << util::fmt(allocation.unallocated_scaled, 0)
               << ", db cpu util " << util::fmt(result.db_cpu_utilization, 2)
-              << ") --\n";
+              << ", mean-RT ci95 +/- "
+              << util::fmt(replicated.mean_rt_ci95_s * 1e3, 2) << " ms) --\n";
     util::Table table({"class", "rt_goal_ms", "achieved_mean_rt_ms",
                        "achieved_p90_ms", "meets_goal"});
     for (const rm::ServiceClassSpec& cls : classes) {
@@ -111,7 +119,10 @@ int main() {
     cluster.warmup_s = 40.0;
     cluster.measure_s = 160.0;
     cluster.seed = 0xA110C;
-    const auto result = sim::trade::run_cluster(cluster);
+    sim::ReplicationOptions reps;
+    reps.replications = 4;
+    reps.pool = &setup.pool;
+    const auto result = sim::run_cluster_replications(cluster, reps).summary;
     std::cout << "\n-- same allocation, single-server-sized DB --\n"
               << "db cpu utilisation: "
               << util::fmt(result.db_cpu_utilization, 2)

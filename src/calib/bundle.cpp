@@ -44,10 +44,14 @@ CalibrationBundle calibrate(const CalibrationOptions& options) {
 
   // --- support service 2: benchmark request processing speeds -----------
   // One independent saturation run per server, fanned out on the pool.
+  sim::trade::MeasurementOptions measurement;
+  measurement.replications = options.replications;
+  measurement.fluid_threshold = options.fluid_threshold;
+  measurement.pool = options.pool;
   auto benchmark_one = [&](std::size_t i) {
     ServerRecord& record = bundle.servers[i];
     record.max_throughput_rps = sim::trade::measure_max_throughput(
-        record.sim, 0.0, options.sweep_seed);
+        record.sim, 0.0, options.sweep_seed, measurement);
   };
   if (options.pool != nullptr) {
     options.pool->parallel_for(bundle.servers.size(), benchmark_one);
@@ -95,7 +99,7 @@ CalibrationBundle calibrate(const CalibrationOptions& options) {
   if (options.measure_mix) {
     const double mix_pct = 100.0 * options.mix_buy_fraction;
     const double mix_max = sim::trade::measure_max_throughput(
-        reference.sim, options.mix_buy_fraction, options.mix_seed);
+        reference.sim, options.mix_buy_fraction, options.mix_seed, measurement);
     historical.calibrate_mix({0.0, mix_pct},
                              {reference.max_throughput_rps, mix_max});
     bundle.mix_points = {{0.0, reference.max_throughput_rps},

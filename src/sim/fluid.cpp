@@ -1,0 +1,220 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace epp::sim::trade {
+namespace {
+
+constexpr double kMeanBuysPerSession = 10.0;  // matches testbed.cpp
+constexpr double kLn10 = 2.302585092994046;
+
+/// Per-class station demands in seconds (already divided by speeds).
+struct ClassDemand {
+  double app_s = 0.0;
+  double db_s = 0.0;
+  double disk_s = 0.0;
+  double db_calls = 0.0;        // mean DB calls per request
+  double buy_fraction = 0.0;    // P(request is a Buy) within the class
+  double think_s = 0.0;         // Z_c; 0 for open classes
+  double population = 0.0;      // N_c; 0 for open classes
+  double arrival_rps = 0.0;     // λ_c; 0 for closed classes
+};
+
+/// A buy user's session is login + geometric(mean 10) buys + logoff; the
+/// class's per-request demand is the session mix average.
+AggregateDemand buy_session_aggregate() {
+  const OperationProfile& login = profile(Operation::kRegisterLogin);
+  const OperationProfile& buy = profile(Operation::kBuy);
+  const OperationProfile& logoff = profile(Operation::kLogoff);
+  const double requests = kMeanBuysPerSession + 2.0;
+  AggregateDemand agg{};
+  const double w_login = 1.0 / requests;
+  const double w_buy = kMeanBuysPerSession / requests;
+  const double w_logoff = 1.0 / requests;
+  agg.app_cpu_s = w_login * login.app_cpu_s + w_buy * buy.app_cpu_s +
+                  w_logoff * logoff.app_cpu_s;
+  // Per-call demands are call-weighted, calls per request mix-weighted.
+  const double calls = w_login * login.mean_db_calls +
+                       w_buy * buy.mean_db_calls +
+                       w_logoff * logoff.mean_db_calls;
+  agg.mean_db_calls = calls;
+  if (calls > 0.0) {
+    agg.db_cpu_per_call = (w_login * login.mean_db_calls * login.db_cpu_per_call +
+                           w_buy * buy.mean_db_calls * buy.db_cpu_per_call +
+                           w_logoff * logoff.mean_db_calls * logoff.db_cpu_per_call) /
+                          calls;
+    agg.disk_per_call = (w_login * login.mean_db_calls * login.disk_per_call +
+                         w_buy * buy.mean_db_calls * buy.disk_per_call +
+                         w_logoff * logoff.mean_db_calls * logoff.disk_per_call) /
+                        calls;
+  }
+  return agg;
+}
+
+/// All-or-nothing cache model: if every live session fits in capacity the
+/// steady state is all hits (sessions are re-read before eviction), else
+/// the working set thrashes and every request pays the fetch.
+bool cache_fits(const TestbedConfig& config) {
+  const CacheConfig& cc = *config.cache;
+  std::uint64_t needed = 0;
+  for (const auto& spec : config.classes) {
+    const std::uint64_t sessions = spec.open_arrival_rps > 0.0 ? 1 : spec.clients;
+    if (spec.type == UserType::kBrowse) {
+      needed += sessions * cc.browse_session_bytes;
+    } else {
+      const auto mean_session =
+          cc.buy_session_base_bytes +
+          static_cast<std::uint64_t>(
+              static_cast<double>(cc.per_holding_bytes) * kMeanBuysPerSession /
+              2.0);
+      needed += sessions * mean_session;
+    }
+  }
+  return needed <= cc.capacity_bytes;
+}
+
+}  // namespace
+
+bool fluid_engages(const TestbedConfig& config) {
+  if (config.fluid_threshold == 0) return false;
+  std::size_t closed = 0;
+  for (const auto& spec : config.classes)
+    if (spec.open_arrival_rps <= 0.0) closed += spec.clients;
+  return closed >= config.fluid_threshold;
+}
+
+RunResult run_testbed_fluid(const TestbedConfig& config) {
+  const std::size_t k = config.classes.size();
+  std::vector<ClassDemand> demand(k);
+  const bool cache_on =
+      config.cache.has_value() && config.cache->capacity_bytes > 0;
+  const bool miss_all = cache_on && !cache_fits(config);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto& spec = config.classes[c];
+    const AggregateDemand agg = spec.type == UserType::kBrowse
+                                    ? browse_aggregate()
+                                    : buy_session_aggregate();
+    ClassDemand& d = demand[c];
+    d.db_calls = agg.mean_db_calls;
+    double db_cpu = agg.mean_db_calls * agg.db_cpu_per_call;
+    double disk = agg.mean_db_calls * agg.disk_per_call;
+    if (miss_all && config.cache) {
+      // Logoff invalidates instead of fetching; ignore that 1/12 sliver
+      // for buy users — the fetch applies to (almost) every request.
+      d.db_calls += 1.0;
+      db_cpu += config.cache->session_fetch_db_cpu_s;
+      disk += config.cache->session_fetch_disk_s;
+    }
+    d.app_s = agg.app_cpu_s / config.server.speed;
+    d.db_s = db_cpu / config.db_speed;
+    d.disk_s = disk / config.disk_speed;
+    d.buy_fraction = spec.type == UserType::kBuy
+                         ? kMeanBuysPerSession / (kMeanBuysPerSession + 2.0)
+                         : 0.0;
+    if (spec.open_arrival_rps > 0.0) {
+      d.arrival_rps = spec.open_arrival_rps;
+    } else {
+      d.think_s = spec.mean_think_time_s;
+      d.population = static_cast<double>(spec.clients);
+    }
+  }
+
+  // Masses per class at app / db / disk; closed-class think mass is
+  // population minus in-system mass. Integrate dm/dt with an adaptive
+  // forward-Euler step until the flows balance.
+  std::vector<double> m_app(k, 0.0), m_db(k, 0.0), m_disk(k, 0.0);
+  auto think_mass = [&](std::size_t c) {
+    return std::max(0.0, demand[c].population - m_app[c] - m_db[c] - m_disk[c]);
+  };
+  const int kMaxSteps = 200000;
+  const double kTol = 1e-10;
+  for (int step = 0; step < kMaxSteps; ++step) {
+    double tot_app = 0.0, tot_db = 0.0, tot_disk = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      tot_app += m_app[c];
+      tot_db += m_db[c];
+      tot_disk += m_disk[c];
+    }
+    const double share_app = std::max(1.0, tot_app);
+    const double share_db = std::max(1.0, tot_db);
+    const double share_disk = std::max(1.0, tot_disk);
+    double max_delta = 0.0;
+    double max_rate = 1.0;
+    std::vector<double> d_app(k), d_db(k), d_disk(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      const ClassDemand& d = demand[c];
+      const double in_rate =
+          d.population > 0.0 ? think_mass(c) / d.think_s : d.arrival_rps;
+      const double app_rate =
+          d.app_s > 0.0 ? (m_app[c] / share_app) / d.app_s : m_app[c] * 1e9;
+      const double db_rate =
+          d.db_s > 0.0 ? (m_db[c] / share_db) / d.db_s : m_db[c] * 1e9;
+      const double disk_rate =
+          d.disk_s > 0.0 ? (m_disk[c] / share_disk) / d.disk_s
+                         : m_disk[c] * 1e9;
+      d_app[c] = in_rate - app_rate;
+      d_db[c] = app_rate - db_rate;
+      d_disk[c] = db_rate - disk_rate;
+      max_delta = std::max({max_delta, std::abs(d_app[c]), std::abs(d_db[c]),
+                            std::abs(d_disk[c])});
+      max_rate = std::max({max_rate, in_rate, app_rate, db_rate, disk_rate});
+    }
+    if (max_delta < kTol * std::max(1.0, max_rate)) break;
+    // Step small enough that no station's mass moves by more than ~10% of
+    // the fastest rate's characteristic time.
+    const double dt = 0.1 / max_rate * std::max(1.0, tot_app + tot_db + tot_disk);
+    const double h = std::min(dt, 0.05);
+    for (std::size_t c = 0; c < k; ++c) {
+      m_app[c] = std::max(0.0, m_app[c] + h * d_app[c]);
+      m_db[c] = std::max(0.0, m_db[c] + h * d_db[c]);
+      m_disk[c] = std::max(0.0, m_disk[c] + h * d_disk[c]);
+    }
+  }
+
+  // Back out per-class throughput and response time (Little's law).
+  RunResult out;
+  out.solved_by_fluid = true;
+  double tot_x = 0.0, tot_buy_x = 0.0, tot_calls_x = 0.0;
+  double rt_weighted = 0.0, p90_weighted = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const ClassDemand& d = demand[c];
+    const double in_system = m_app[c] + m_db[c] + m_disk[c];
+    double x, rt;
+    if (d.population > 0.0) {
+      x = think_mass(c) / d.think_s;
+      rt = x > 0.0 ? d.population / x - d.think_s : 0.0;
+    } else {
+      x = d.arrival_rps;
+      rt = x > 0.0 ? in_system / x : 0.0;
+    }
+    rt = std::max(rt, d.app_s + d.db_s + d.disk_s);
+    ClassResult cr;
+    cr.throughput_rps = x;
+    cr.mean_rt_s = rt;
+    cr.p90_rt_s = rt * kLn10;  // exponential-tail approximation
+    cr.completions = static_cast<std::size_t>(std::llround(x * config.measure_s));
+    out.per_class[config.classes[c].name] = cr;
+    tot_x += x;
+    tot_buy_x += x * d.buy_fraction;
+    tot_calls_x += x * d.db_calls;
+    rt_weighted += rt * x;
+    p90_weighted += cr.p90_rt_s * x;
+    out.app_cpu_utilization += x * d.app_s;
+    out.db_cpu_utilization += x * d.db_s;
+    out.disk_utilization += x * d.disk_s;
+  }
+  out.throughput_rps = tot_x;
+  out.mean_rt_s = tot_x > 0.0 ? rt_weighted / tot_x : 0.0;
+  out.p90_rt_s = tot_x > 0.0 ? p90_weighted / tot_x : 0.0;
+  out.buy_request_fraction = tot_x > 0.0 ? tot_buy_x / tot_x : 0.0;
+  out.db_calls_per_request = tot_x > 0.0 ? tot_calls_x / tot_x : 0.0;
+  out.app_cpu_utilization = std::min(1.0, out.app_cpu_utilization);
+  out.db_cpu_utilization = std::min(1.0, out.db_cpu_utilization);
+  out.disk_utilization = std::min(1.0, out.disk_utilization);
+  out.cache_miss_ratio = !cache_on ? 0.0 : (miss_all ? 1.0 : 0.0);
+  return out;
+}
+
+}  // namespace epp::sim::trade

@@ -1,0 +1,42 @@
+// Fluid (mean-field ODE) fast path for very large client populations.
+//
+// Above a few thousand clients the discrete-event engine's cost grows
+// linearly with population while the metrics it produces converge to the
+// mean-field limit: per-class *masses* of clients at each station evolve
+// by deterministic flow equations. This module integrates those equations
+// to steady state and back-solves the RunResult fields the exact engine
+// would report. It is the "fluid fast path" run_testbed switches to when
+// TestbedConfig::fluid_threshold engages (see testbed.hpp), letting load
+// sweeps scale to 10^6+ clients in microseconds per point.
+//
+// Stations and flows (per service class c):
+//
+//   think --1/Z_c--> app CPU --D^app_c--> db CPU --D^db_c--> disk --+
+//     ^                                                             |
+//     +------------------------- completion ------------------------+
+//
+// Processor-sharing stations serve class c at rate
+// (m_c / max(1, m_total)) / D_c — full speed while total mass is below
+// one server's worth, fair-shared beyond it. Admission caps (app/db
+// slots) are not modelled: the stations are work-conserving either way,
+// so caps shift where jobs wait without changing steady-state throughput
+// or total response time. Approximations (documented in DESIGN.md):
+// p90 is the exponential-tail estimate mean·ln(10), not an order
+// statistic; the session cache is all-or-nothing (every session fits, or
+// none does); per-request variability (operation mix, Bernoulli DB
+// calls) is collapsed to class means.
+#pragma once
+
+#include "sim/trade/testbed.hpp"
+
+namespace epp::sim::trade {
+
+/// True when `config` asks for the fluid path: fluid_threshold > 0 and
+/// the total closed-loop population reaches it.
+bool fluid_engages(const TestbedConfig& config);
+
+/// Solve `config` with the fluid model. The result has solved_by_fluid
+/// set; rt_samples_s stays empty (there are no discrete samples).
+RunResult run_testbed_fluid(const TestbedConfig& config);
+
+}  // namespace epp::sim::trade

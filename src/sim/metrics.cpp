@@ -19,6 +19,22 @@ void MetricsCollector::record(const std::string& service_class,
   ++total_completions_;
 }
 
+std::size_t MetricsCollector::class_handle(const std::string& service_class) {
+  handles_.push_back(&per_class_[service_class]);  // map nodes are stable
+  return handles_.size() - 1;
+}
+
+void MetricsCollector::record(std::size_t handle, double issue_time,
+                              double completion_time) {
+  if (completion_time < issue_time)
+    throw std::invalid_argument("MetricsCollector: completion before issue");
+  if (completion_time < warmup_time_) return;
+  const double rt = completion_time - issue_time;
+  handles_[handle]->add(rt);
+  all_.add(rt);
+  ++total_completions_;
+}
+
 std::size_t MetricsCollector::completions(
     const std::string& service_class) const {
   const auto it = per_class_.find(service_class);

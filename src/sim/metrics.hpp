@@ -27,6 +27,12 @@ class MetricsCollector {
   void record(const std::string& service_class, double issue_time,
               double completion_time);
 
+  /// Pre-register a service class and get a dense handle for the
+  /// lookup-free record path below — the per-completion hot path of the
+  /// SoA testbed resolves its class name exactly once, up front.
+  std::size_t class_handle(const std::string& service_class);
+  void record(std::size_t handle, double issue_time, double completion_time);
+
   std::size_t completions(const std::string& service_class) const;
   std::size_t total_completions() const noexcept { return total_completions_; }
 
@@ -47,7 +53,8 @@ class MetricsCollector {
 
  private:
   double warmup_time_;
-  std::map<std::string, util::SampleSet> per_class_;
+  std::map<std::string, util::SampleSet> per_class_;  // node-stable
+  std::vector<util::SampleSet*> handles_;
   util::SampleSet all_;
   std::size_t total_completions_ = 0;
 };

@@ -21,22 +21,30 @@ void PsResource::advance_vtime() {
   last_update_ = now;
 }
 
+void PsResource::on_completion(void* self, std::uint64_t) {
+  auto& ps = *static_cast<PsResource*>(self);
+  ps.pending_completion_.reset();
+  ps.advance_vtime();
+  // Numerical guard: the front job is complete by construction.
+  auto it = ps.jobs_.begin();
+  Engine::Callback done = std::move(it->second.on_complete);
+  ps.jobs_.erase(it);
+  ps.schedule_next_completion();
+  done();
+}
+
 void PsResource::schedule_next_completion() {
-  Engine::cancel(pending_completion_);
+  engine_.cancel(pending_completion_);
   pending_completion_.reset();
   if (jobs_.empty()) return;
   const double finish_v = jobs_.begin()->first;
   const double dt =
       (finish_v - vtime_) * static_cast<double>(jobs_.size()) / speed_;
-  pending_completion_ = engine_.schedule_after(std::max(0.0, dt), [this] {
-    advance_vtime();
-    // Numerical guard: the front job is complete by construction.
-    auto it = jobs_.begin();
-    Engine::Callback done = std::move(it->second.on_complete);
-    jobs_.erase(it);
-    schedule_next_completion();
-    done();
-  });
+  // Raw typed dispatch: completion events are the engine's hottest
+  // customers and carry no state beyond `this`.
+  pending_completion_ = engine_.schedule_raw_after(std::max(0.0, dt),
+                                                   &PsResource::on_completion,
+                                                   this);
 }
 
 void PsResource::add_job(double demand, Engine::Callback on_complete) {
@@ -65,6 +73,14 @@ void FifoResource::add_job(double demand, Engine::Callback on_complete) {
   if (!busy_) start_next();
 }
 
+void FifoResource::on_job_done(void* self, std::uint64_t) {
+  auto& fifo = *static_cast<FifoResource*>(self);
+  fifo.busy_time_ += fifo.engine_.now() - fifo.busy_since_;
+  Engine::Callback done = std::move(fifo.current_done_);
+  fifo.start_next();
+  done();
+}
+
 void FifoResource::start_next() {
   if (queue_.empty()) {
     busy_ = false;
@@ -74,12 +90,9 @@ void FifoResource::start_next() {
   busy_since_ = engine_.now();
   Job job = std::move(queue_.front());
   queue_.pop_front();
-  engine_.schedule_after(job.demand / speed_,
-                         [this, done = std::move(job.on_complete)]() mutable {
-                           busy_time_ += engine_.now() - busy_since_;
-                           start_next();
-                           done();
-                         });
+  current_done_ = std::move(job.on_complete);
+  engine_.schedule_raw_after(job.demand / speed_, &FifoResource::on_job_done,
+                             this);
 }
 
 double FifoResource::utilization(double now) const {

@@ -56,6 +56,7 @@ class PsResource {
 
   void advance_vtime();
   void schedule_next_completion();
+  static void on_completion(void* self, std::uint64_t);
 
   Engine& engine_;
   double speed_;
@@ -88,11 +89,13 @@ class FifoResource {
   };
 
   void start_next();
+  static void on_job_done(void* self, std::uint64_t);
 
   Engine& engine_;
   double speed_;
   std::string name_;
   std::deque<Job> queue_;
+  Engine::Callback current_done_;  // completion of the job in service
   bool busy_ = false;
   double busy_time_ = 0.0;
   double busy_since_ = 0.0;

@@ -12,11 +12,10 @@ namespace {
 
 constexpr double kMeanBuysPerSession = 10.0;
 
-struct DbCall {
-  double cpu_s;
-  double disk_s;
-};
-
+// Same struct-of-arrays layout as the single-server testbed (see
+// testbed.cpp): client state lives in parallel pool vectors, request
+// state in a recycled slab, and think timers go through the engine's raw
+// typed dispatch — the steady-state path allocates nothing.
 class ClusterSimulation {
  public:
   explicit ClusterSimulation(const ClusterConfig& config)
@@ -37,132 +36,163 @@ class ClusterSimulation {
           std::make_unique<PsResource>(engine_, server.speed, server.name));
       app_slots_.push_back(std::make_unique<SlotPool>(server.concurrency, 1));
     }
-    std::uint64_t next_id = 0;
+    std::size_t total = 0;
     for (std::size_t ci = 0; ci < config.classes.size(); ++ci) {
       const ClusterClassSpec& cls = config.classes[ci];
       if (cls.clients_per_server.size() != config.servers.size())
         throw std::invalid_argument(
             "Cluster: allocation row for class '" + cls.name +
             "' does not match the number of servers");
+      for (const std::size_t n : cls.clients_per_server) total += n;
+    }
+    client_class_.reserve(total);
+    client_server_.reserve(total);
+    client_rng_.reserve(total);
+    logged_in_.reserve(total);
+    remaining_buys_.reserve(total);
+    portfolio_.reserve(total);
+    for (std::size_t ci = 0; ci < config.classes.size(); ++ci) {
+      const ClusterClassSpec& cls = config.classes[ci];
       for (std::size_t si = 0; si < config.servers.size(); ++si) {
+        if (cls.clients_per_server[si] == 0) continue;
+        // Each populated (class, server) bucket registers two metric
+        // handles so the per-completion path is lookup-free. Empty pairs
+        // get no bucket at all, matching the lazy pre-refactor collector.
+        const std::size_t bucket = bucket_handles_.size();
+        bucket_handles_.push_back(
+            metrics_.class_handle(cls.name + "@" + std::to_string(si)));
+        class_handles_.push_back(metrics_class_.class_handle(cls.name));
         for (std::size_t i = 0; i < cls.clients_per_server[si]; ++i) {
-          clients_.push_back(std::make_unique<Client>());
-          Client& c = *clients_.back();
-          c.id = next_id++;
-          c.class_index = ci;
-          c.server_index = si;
-          c.rng = rng_.spawn();
+          client_class_.push_back(static_cast<std::uint32_t>(ci));
+          client_server_.push_back(static_cast<std::uint32_t>(si));
+          client_bucket_.push_back(static_cast<std::uint32_t>(bucket));
+          client_rng_.push_back(rng_.spawn());
+          logged_in_.push_back(0);
+          remaining_buys_.push_back(0);
+          portfolio_.push_back(0);
         }
       }
     }
   }
 
   ClusterRunResult run() {
-    for (auto& c : clients_) think_then_issue(*c);
+    for (std::uint32_t c = 0; c < client_class_.size(); ++c)
+      think_then_issue(c);
     const double end = config_.warmup_s + config_.measure_s;
     engine_.run_until(end);
     return collect(end);
   }
 
  private:
-  struct Client {
-    std::uint64_t id = 0;
-    std::size_t class_index = 0;
-    std::size_t server_index = 0;
-    util::Rng rng{0};
-    bool logged_in = false;
-    std::uint64_t remaining_buys = 0;
-    std::uint64_t portfolio = 0;
-  };
-
-  struct RequestContext {
-    Client* client = nullptr;
-    Operation op = Operation::kQuote;
+  struct Request {
     double issue_time = 0.0;
     double app_slice_s = 0.0;
-    std::vector<DbCall> calls;
-    std::size_t next_call = 0;
+    double call_cpu_s = 0.0;
+    double call_disk_s = 0.0;
+    std::uint32_t client = 0;
+    std::uint8_t total_calls = 0;
+    std::uint8_t next_call = 0;
   };
-  using Ctx = std::shared_ptr<RequestContext>;
 
-  const ClusterClassSpec& spec_of(const Client& c) const {
-    return config_.classes[c.class_index];
-  }
-  std::string bucket_of(const Client& c) const {
-    return spec_of(c).name + "@" + std::to_string(c.server_index);
+  const ClusterClassSpec& spec_of(std::uint32_t c) const {
+    return config_.classes[client_class_[c]];
   }
 
-  void think_then_issue(Client& c) {
-    engine_.schedule_after(c.rng.exponential(spec_of(c).mean_think_time_s),
-                           [this, &c] { issue(c); });
+  std::uint32_t alloc_request() {
+    if (free_requests_.empty()) {
+      requests_.emplace_back();
+      return static_cast<std::uint32_t>(requests_.size() - 1);
+    }
+    const std::uint32_t r = free_requests_.back();
+    free_requests_.pop_back();
+    requests_[r] = Request{};
+    return r;
   }
 
-  Operation next_operation(Client& c) {
+  void free_request(std::uint32_t r) { free_requests_.push_back(r); }
+
+  void think_then_issue(std::uint32_t c) {
+    const double think =
+        client_rng_[c].exponential(spec_of(c).mean_think_time_s);
+    engine_.schedule_raw_after(think, &ClusterSimulation::think_fired, this, c);
+  }
+
+  static void think_fired(void* self, std::uint64_t client) {
+    static_cast<ClusterSimulation*>(self)->issue(
+        static_cast<std::uint32_t>(client));
+  }
+
+  Operation next_operation(std::uint32_t c) {
     if (spec_of(c).type == UserType::kBrowse)
-      return sample_browse_operation(c.rng);
-    if (!c.logged_in) {
-      c.logged_in = true;
-      c.portfolio = 0;
-      c.remaining_buys = c.rng.geometric_trials(1.0 / kMeanBuysPerSession);
+      return sample_browse_operation(client_rng_[c]);
+    if (!logged_in_[c]) {
+      logged_in_[c] = 1;
+      portfolio_[c] = 0;
+      remaining_buys_[c] =
+          client_rng_[c].geometric_trials(1.0 / kMeanBuysPerSession);
       return Operation::kRegisterLogin;
     }
-    if (c.remaining_buys > 0) {
-      --c.remaining_buys;
-      ++c.portfolio;
+    if (remaining_buys_[c] > 0) {
+      --remaining_buys_[c];
+      ++portfolio_[c];
       return Operation::kBuy;
     }
-    c.logged_in = false;
+    logged_in_[c] = 0;
     return Operation::kLogoff;
   }
 
-  void issue(Client& c) {
-    auto ctx = std::make_shared<RequestContext>();
-    ctx->client = &c;
-    ctx->op = next_operation(c);
-    ctx->issue_time = engine_.now();
-    app_slots_[c.server_index]->acquire(0, [this, ctx] { admitted(ctx); });
+  void issue(std::uint32_t c) {
+    const std::uint32_t r = alloc_request();
+    Request& req = requests_[r];
+    req.client = c;
+    const Operation op = next_operation(c);
+    req.issue_time = engine_.now();
+    // There is no session cache here, so the call count can be sampled at
+    // issue rather than admission: each client has one outstanding request
+    // and its own rng, so the draw sequence per client is unchanged.
+    const OperationProfile& prof = profile(op);
+    const std::size_t op_calls = sample_db_calls(prof, client_rng_[c]);
+    req.total_calls = static_cast<std::uint8_t>(op_calls);
+    req.call_cpu_s = prof.db_cpu_per_call;
+    req.call_disk_s = prof.disk_per_call;
+    req.app_slice_s = prof.app_cpu_s / static_cast<double>(op_calls + 1);
+    app_slots_[client_server_[c]]->acquire(0, [this, r] { do_slice(r); });
   }
 
-  void admitted(const Ctx& ctx) {
-    const OperationProfile& prof = profile(ctx->op);
-    Client& c = *ctx->client;
-    const std::size_t op_calls = sample_db_calls(prof, c.rng);
-    for (std::size_t i = 0; i < op_calls; ++i)
-      ctx->calls.push_back(DbCall{prof.db_cpu_per_call, prof.disk_per_call});
-    ctx->app_slice_s =
-        prof.app_cpu_s / static_cast<double>(ctx->calls.size() + 1);
-    do_slice(ctx);
-  }
-
-  void do_slice(const Ctx& ctx) {
-    app_cpus_[ctx->client->server_index]->add_job(ctx->app_slice_s, [this, ctx] {
-      if (ctx->next_call < ctx->calls.size()) {
-        db_call(ctx);
+  void do_slice(std::uint32_t r) {
+    const std::uint32_t server = client_server_[requests_[r].client];
+    app_cpus_[server]->add_job(requests_[r].app_slice_s, [this, r] {
+      const Request& req = requests_[r];
+      if (req.next_call < req.total_calls) {
+        db_call(r);
       } else {
-        finish(ctx);
+        finish(r);
       }
     });
   }
 
-  void db_call(const Ctx& ctx) {
+  void db_call(std::uint32_t r) {
     // The DB tier keeps one FIFO queue per application server.
-    db_slots_.acquire(ctx->client->server_index, [this, ctx] {
-      const DbCall call = ctx->calls[ctx->next_call];
-      db_cpu_.add_job(call.cpu_s, [this, ctx, disk_s = call.disk_s] {
-        disk_.add_job(disk_s, [this, ctx] {
+    db_slots_.acquire(client_server_[requests_[r].client], [this, r] {
+      db_cpu_.add_job(requests_[r].call_cpu_s, [this, r] {
+        disk_.add_job(requests_[r].call_disk_s, [this, r] {
           db_slots_.release();
-          ++ctx->next_call;
-          do_slice(ctx);
+          ++requests_[r].next_call;
+          do_slice(r);
         });
       });
     });
   }
 
-  void finish(const Ctx& ctx) {
-    Client& c = *ctx->client;
-    app_slots_[c.server_index]->release();
-    metrics_.record(bucket_of(c), ctx->issue_time, engine_.now());
-    metrics_class_.record(spec_of(c).name, ctx->issue_time, engine_.now());
+  void finish(std::uint32_t r) {
+    const Request req = requests_[r];
+    const std::uint32_t c = req.client;
+    app_slots_[client_server_[c]]->release();
+    metrics_.record(bucket_handles_[client_bucket_[c]], req.issue_time,
+                    engine_.now());
+    metrics_class_.record(class_handles_[client_bucket_[c]], req.issue_time,
+                          engine_.now());
+    free_request(r);
     think_then_issue(c);
   }
 
@@ -200,7 +230,21 @@ class ClusterSimulation {
   MetricsCollector metrics_;        // per (class, server) bucket
   MetricsCollector metrics_class_;  // per class (warmup set in constructor)
   util::Rng rng_;
-  std::vector<std::unique_ptr<Client>> clients_;
+
+  // Client pool (SoA), filled in (class, server) allocation order so rng
+  // spawn order matches the pre-refactor per-client construction.
+  std::vector<std::uint32_t> client_class_;
+  std::vector<std::uint32_t> client_server_;
+  std::vector<std::uint32_t> client_bucket_;  // index into bucket_handles_
+  std::vector<util::Rng> client_rng_;
+  std::vector<std::uint8_t> logged_in_;
+  std::vector<std::uint64_t> remaining_buys_;
+  std::vector<std::uint64_t> portfolio_;
+  std::vector<std::size_t> bucket_handles_;  // per (class, server)
+  std::vector<std::size_t> class_handles_;   // parallel to bucket_handles_
+
+  std::vector<Request> requests_;
+  std::vector<std::uint32_t> free_requests_;
 };
 
 }  // namespace

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/fluid.hpp"
+#include "sim/replicate.hpp"
+
 namespace epp::sim::trade {
 
 ServerSpec app_serv_s() { return {"AppServS", 86.0 / 186.0, 50, false}; }
@@ -15,11 +18,11 @@ namespace {
 /// Mean buy requests per buy-user session before logoff.
 constexpr double kMeanBuysPerSession = 10.0;
 
-struct DbCall {
-  double cpu_s;
-  double disk_s;
-};
-
+// The simulation keeps client state in a struct-of-arrays pool and
+// request state in a recycled slab, so the steady-state path performs no
+// heap allocation: timers go through the engine's raw typed dispatch,
+// and every resource callback captures only (this, index) — inside
+// std::function's small-buffer optimisation.
 class Simulation {
  public:
   explicit Simulation(const TestbedConfig& config)
@@ -34,169 +37,236 @@ class Simulation {
         rng_(config.seed, 0x7E57BED) {
     if (config.classes.empty())
       throw std::invalid_argument("Testbed: no service classes");
-    std::uint64_t next_id = 0;
-    for (std::size_t ci = 0; ci < config.classes.size(); ++ci) {
+    std::size_t closed_total = 0;
+    for (const auto& spec : config.classes)
+      if (spec.open_arrival_rps <= 0.0) closed_total += spec.clients;
+    reserve_clients(closed_total + config.classes.size());
+    for (std::size_t ci = 0; ci < config_.classes.size(); ++ci) {
       const auto& spec = config_.classes[ci];
+      class_handles_.push_back(metrics_.class_handle(spec.name));
       if (spec.open_arrival_rps > 0.0) {
         // Open stream: one generator "client" supplies rng and operation
-        // state; fresh virtual clients are minted per arrival for the
-        // session-cache key space.
-        open_generators_.push_back(std::make_unique<Client>());
-        Client& c = *open_generators_.back();
-        c.id = next_id++;
-        c.class_index = ci;
-        c.rng = rng_.spawn();
+        // state; its pool slot also keys the session-cache entry.
+        generators_.push_back(add_client(ci));
         continue;
       }
-      for (std::size_t i = 0; i < spec.clients; ++i) {
-        clients_.push_back(std::make_unique<Client>());
-        Client& c = *clients_.back();
-        c.id = next_id++;
-        c.class_index = ci;
-        c.rng = rng_.spawn();
-      }
+      class_begin_.push_back(closed_.size());
+      for (std::size_t i = 0; i < spec.clients; ++i)
+        closed_.push_back(add_client(ci));
+      class_end_.push_back(closed_.size());
     }
   }
 
   RunResult run(bool keep_samples) {
-    for (auto& c : clients_) think_then_issue(*c);
-    for (auto& g : open_generators_) schedule_open_arrival(*g);
+    arm_initial_thinks();
+    for (const std::uint32_t g : generators_) schedule_open_arrival(g);
     const double end = config_.warmup_s + config_.measure_s;
     engine_.run_until(end);
     return collect(end, keep_samples);
   }
 
  private:
-  struct Client {
-    std::uint64_t id = 0;
-    std::size_t class_index = 0;
-    util::Rng rng{0};
-    // Buy-user session state.
-    bool logged_in = false;
-    std::uint64_t remaining_buys = 0;
-    std::uint64_t portfolio = 0;
-  };
+  // ---- struct-of-arrays client pool ---------------------------------
+  void reserve_clients(std::size_t n) {
+    client_class_.reserve(n);
+    client_rng_.reserve(n);
+    logged_in_.reserve(n);
+    remaining_buys_.reserve(n);
+    portfolio_.reserve(n);
+  }
 
-  struct RequestContext {
-    Client* client = nullptr;
-    Operation op = Operation::kQuote;
+  std::uint32_t add_client(std::size_t class_index) {
+    const auto id = static_cast<std::uint32_t>(client_class_.size());
+    client_class_.push_back(static_cast<std::uint32_t>(class_index));
+    client_rng_.push_back(rng_.spawn());
+    logged_in_.push_back(0);
+    remaining_buys_.push_back(0);
+    portfolio_.push_back(0);
+    return id;
+  }
+
+  const ServiceClassSpec& spec_of(std::uint32_t c) const {
+    return config_.classes[client_class_[c]];
+  }
+
+  // ---- recycled request slab ----------------------------------------
+  struct Request {
     double issue_time = 0.0;
     double app_slice_s = 0.0;
-    std::vector<DbCall> calls;
-    std::size_t next_call = 0;
-    bool open_request = false;  // from a Poisson stream, no think cycle
+    double call_cpu_s = 0.0;   // per regular DB call
+    double call_disk_s = 0.0;
+    double fetch_cpu_s = 0.0;  // session fetch, charged as call 0
+    double fetch_disk_s = 0.0;
+    std::uint32_t client = 0;
+    Operation op = Operation::kQuote;
+    std::uint8_t total_calls = 0;
+    std::uint8_t next_call = 0;
+    std::uint8_t has_fetch = 0;
+    std::uint8_t open_request = 0;  // from a Poisson stream, no think cycle
   };
-  using Ctx = std::shared_ptr<RequestContext>;
 
-  const ServiceClassSpec& spec_of(const Client& c) const {
-    return config_.classes[c.class_index];
+  std::uint32_t alloc_request() {
+    if (free_requests_.empty()) {
+      requests_.emplace_back();
+      return static_cast<std::uint32_t>(requests_.size() - 1);
+    }
+    const std::uint32_t r = free_requests_.back();
+    free_requests_.pop_back();
+    requests_[r] = Request{};
+    return r;
   }
 
-  void think_then_issue(Client& c) {
-    const double think = c.rng.exponential(spec_of(c).mean_think_time_s);
-    engine_.schedule_after(think, [this, &c] { issue(c); });
-  }
+  void free_request(std::uint32_t r) { free_requests_.push_back(r); }
 
-  Operation next_operation(Client& c) {
+  // ---- client behaviour ---------------------------------------------
+  Operation next_operation(std::uint32_t c) {
     if (spec_of(c).type == UserType::kBrowse)
-      return sample_browse_operation(c.rng);
-    if (!c.logged_in) {
-      c.logged_in = true;
-      c.portfolio = 0;
-      c.remaining_buys = c.rng.geometric_trials(1.0 / kMeanBuysPerSession);
+      return sample_browse_operation(client_rng_[c]);
+    if (!logged_in_[c]) {
+      logged_in_[c] = 1;
+      portfolio_[c] = 0;
+      remaining_buys_[c] =
+          client_rng_[c].geometric_trials(1.0 / kMeanBuysPerSession);
       return Operation::kRegisterLogin;
     }
-    if (c.remaining_buys > 0) {
-      --c.remaining_buys;
-      ++c.portfolio;
+    if (remaining_buys_[c] > 0) {
+      --remaining_buys_[c];
+      ++portfolio_[c];
       return Operation::kBuy;
     }
-    c.logged_in = false;
+    logged_in_[c] = 0;
     return Operation::kLogoff;
   }
 
-  std::uint64_t session_bytes(const Client& c) const {
+  std::uint64_t session_bytes(std::uint32_t c) const {
     const CacheConfig& cc = *config_.cache;
     if (spec_of(c).type == UserType::kBrowse) return cc.browse_session_bytes;
-    return cc.buy_session_base_bytes + cc.per_holding_bytes * c.portfolio;
+    return cc.buy_session_base_bytes + cc.per_holding_bytes * portfolio_[c];
   }
 
-  void issue(Client& c) {
-    auto ctx = std::make_shared<RequestContext>();
-    ctx->client = &c;
-    ctx->op = next_operation(c);
-    ctx->issue_time = engine_.now();
-    app_slots_.acquire(0, [this, ctx] { admitted(ctx); });
+  /// Arm every closed client's first think timer. The delays are drawn
+  /// in one bulk pass per class (util::Rng::fill_exponential) from a
+  /// dedicated arrival stream, then scheduled via raw dispatch.
+  void arm_initial_thinks() {
+    util::Rng arrivals = rng_.spawn();
+    std::vector<double> thinks(closed_.size());
+    std::size_t span = 0;
+    for (std::size_t ci = 0, k = 0; ci < config_.classes.size(); ++ci) {
+      const auto& spec = config_.classes[ci];
+      if (spec.open_arrival_rps > 0.0) continue;
+      const std::size_t begin = class_begin_[k];
+      const std::size_t end = class_end_[k];
+      ++k;
+      arrivals.fill_exponential(spec.mean_think_time_s, thinks.data() + begin,
+                                end - begin);
+      span = end;
+    }
+    for (std::size_t i = 0; i < span; ++i)
+      engine_.schedule_raw_at(thinks[i], &Simulation::think_fired, this,
+                              closed_[i]);
   }
 
-  void schedule_open_arrival(Client& generator) {
-    const double rate = spec_of(generator).open_arrival_rps;
-    engine_.schedule_after(generator.rng.exponential(1.0 / rate),
-                           [this, &generator] {
-                             auto ctx = std::make_shared<RequestContext>();
-                             ctx->client = &generator;
-                             ctx->op = next_operation(generator);
-                             ctx->issue_time = engine_.now();
-                             ctx->open_request = true;
-                             app_slots_.acquire(0, [this, ctx] { admitted(ctx); });
-                             schedule_open_arrival(generator);
-                           });
+  static void think_fired(void* self, std::uint64_t client) {
+    static_cast<Simulation*>(self)->issue(static_cast<std::uint32_t>(client));
   }
 
-  void admitted(const Ctx& ctx) {
-    const OperationProfile& prof = profile(ctx->op);
-    Client& c = *ctx->client;
+  static void open_arrival_fired(void* self, std::uint64_t generator) {
+    auto& sim = *static_cast<Simulation*>(self);
+    const auto g = static_cast<std::uint32_t>(generator);
+    const std::uint32_t r = sim.alloc_request();
+    Request& req = sim.requests_[r];
+    req.client = g;
+    req.op = sim.next_operation(g);
+    req.issue_time = sim.engine_.now();
+    req.open_request = 1;
+    sim.app_slots_.acquire(0, [self, r] {
+      static_cast<Simulation*>(self)->admitted(r);
+    });
+    sim.schedule_open_arrival(g);
+  }
+
+  void issue(std::uint32_t c) {
+    const std::uint32_t r = alloc_request();
+    Request& req = requests_[r];
+    req.client = c;
+    req.op = next_operation(c);
+    req.issue_time = engine_.now();
+    app_slots_.acquire(0, [this, r] { admitted(r); });
+  }
+
+  void schedule_open_arrival(std::uint32_t g) {
+    const double rate = spec_of(g).open_arrival_rps;
+    engine_.schedule_raw_after(client_rng_[g].exponential(1.0 / rate),
+                               &Simulation::open_arrival_fired, this, g);
+  }
+
+  void admitted(std::uint32_t r) {
+    Request& req = requests_[r];
+    const OperationProfile& prof = profile(req.op);
+    const std::uint32_t c = req.client;
     // Session-cache lookup happens when processing starts; a miss costs an
     // extra DB call to read the session before the operation's own calls.
     if (config_.cache && cache_.enabled()) {
-      if (ctx->op == Operation::kLogoff) {
-        cache_.invalidate(c.id);
-      } else if (!cache_.access(c.id, session_bytes(c))) {
-        ctx->calls.push_back(DbCall{config_.cache->session_fetch_db_cpu_s,
-                                    config_.cache->session_fetch_disk_s});
+      if (req.op == Operation::kLogoff) {
+        cache_.invalidate(c);
+      } else if (!cache_.access(c, session_bytes(c))) {
+        req.has_fetch = 1;
+        req.fetch_cpu_s = config_.cache->session_fetch_db_cpu_s;
+        req.fetch_disk_s = config_.cache->session_fetch_disk_s;
       }
     }
-    const std::size_t op_calls = sample_db_calls(prof, c.rng);
-    for (std::size_t i = 0; i < op_calls; ++i)
-      ctx->calls.push_back(DbCall{prof.db_cpu_per_call, prof.disk_per_call});
-    ctx->app_slice_s =
-        prof.app_cpu_s / static_cast<double>(ctx->calls.size() + 1);
-    do_slice(ctx);
+    const std::size_t op_calls = sample_db_calls(prof, client_rng_[c]);
+    req.total_calls = static_cast<std::uint8_t>(op_calls + req.has_fetch);
+    req.call_cpu_s = prof.db_cpu_per_call;
+    req.call_disk_s = prof.disk_per_call;
+    req.app_slice_s = prof.app_cpu_s / static_cast<double>(req.total_calls + 1);
+    do_slice(r);
   }
 
-  void do_slice(const Ctx& ctx) {
-    app_cpu_.add_job(ctx->app_slice_s, [this, ctx] {
-      if (ctx->next_call < ctx->calls.size()) {
-        db_call(ctx);
+  void do_slice(std::uint32_t r) {
+    app_cpu_.add_job(requests_[r].app_slice_s, [this, r] {
+      const Request& req = requests_[r];
+      if (req.next_call < req.total_calls) {
+        db_call(r);
       } else {
-        finish(ctx);
+        finish(r);
       }
     });
   }
 
-  void db_call(const Ctx& ctx) {
-    if (ctx->issue_time >= config_.warmup_s) ++measured_db_calls_;
-    db_slots_.acquire(0, [this, ctx] {
-      const DbCall call = ctx->calls[ctx->next_call];
-      db_cpu_.add_job(call.cpu_s, [this, ctx, disk_s = call.disk_s] {
-        disk_.add_job(disk_s, [this, ctx] {
+  void db_call(std::uint32_t r) {
+    if (requests_[r].issue_time >= config_.warmup_s) ++measured_db_calls_;
+    db_slots_.acquire(0, [this, r] {
+      const Request& req = requests_[r];
+      const bool fetch = req.has_fetch && req.next_call == 0;
+      db_cpu_.add_job(fetch ? req.fetch_cpu_s : req.call_cpu_s, [this, r] {
+        const Request& inner = requests_[r];
+        const bool f = inner.has_fetch && inner.next_call == 0;
+        disk_.add_job(f ? inner.fetch_disk_s : inner.call_disk_s, [this, r] {
           db_slots_.release();
-          ++ctx->next_call;
-          do_slice(ctx);
+          ++requests_[r].next_call;
+          do_slice(r);
         });
       });
     });
   }
 
-  void finish(const Ctx& ctx) {
+  void finish(std::uint32_t r) {
     app_slots_.release();
-    Client& c = *ctx->client;
-    metrics_.record(spec_of(c).name, ctx->issue_time, engine_.now());
-    if (ctx->issue_time >= config_.warmup_s) {
+    const Request req = requests_[r];
+    const std::uint32_t c = req.client;
+    metrics_.record(class_handles_[client_class_[c]], req.issue_time,
+                    engine_.now());
+    if (req.issue_time >= config_.warmup_s) {
       ++measured_requests_;
-      if (ctx->op == Operation::kBuy) ++measured_buy_requests_;
+      if (req.op == Operation::kBuy) ++measured_buy_requests_;
     }
-    if (!ctx->open_request) think_then_issue(c);
+    free_request(r);
+    if (!req.open_request) {
+      const double think =
+          client_rng_[c].exponential(spec_of(c).mean_think_time_s);
+      engine_.schedule_raw_after(think, &Simulation::think_fired, this, c);
+    }
   }
 
   RunResult collect(double end, bool keep_samples) const {
@@ -245,8 +315,25 @@ class Simulation {
   SessionCache cache_;
   MetricsCollector metrics_;
   util::Rng rng_;
-  std::vector<std::unique_ptr<Client>> clients_;
-  std::vector<std::unique_ptr<Client>> open_generators_;
+
+  // Client pool (SoA; index == session-cache key). `closed_` lists the
+  // closed-loop clients in creation order, `generators_` the open-stream
+  // generators; `class_begin_/class_end_` bracket each closed class's
+  // contiguous span inside `closed_` for bulk think-time sampling.
+  std::vector<std::uint32_t> client_class_;
+  std::vector<util::Rng> client_rng_;
+  std::vector<std::uint8_t> logged_in_;
+  std::vector<std::uint64_t> remaining_buys_;
+  std::vector<std::uint64_t> portfolio_;
+  std::vector<std::uint32_t> closed_;
+  std::vector<std::uint32_t> generators_;
+  std::vector<std::size_t> class_begin_;
+  std::vector<std::size_t> class_end_;
+  std::vector<std::size_t> class_handles_;  // metrics handle per class
+
+  std::vector<Request> requests_;
+  std::vector<std::uint32_t> free_requests_;
+
   std::uint64_t measured_requests_ = 0;
   std::uint64_t measured_buy_requests_ = 0;
   std::uint64_t measured_db_calls_ = 0;
@@ -255,6 +342,7 @@ class Simulation {
 }  // namespace
 
 RunResult run_testbed(const TestbedConfig& config, bool keep_samples) {
+  if (fluid_engages(config)) return run_testbed_fluid(config);
   Simulation sim(config);
   return sim.run(keep_samples);
 }
@@ -286,7 +374,8 @@ TestbedConfig mixed_workload(const ServerSpec& server, std::size_t clients,
 }
 
 double measure_max_throughput(const ServerSpec& server,
-                              double buy_client_fraction, std::uint64_t seed) {
+                              double buy_client_fraction, std::uint64_t seed,
+                              const MeasurementOptions& options) {
   // Drive the server well past saturation: throughput then plateaus at its
   // max (the paper's "after max throughput ... roughly constant").
   const double est_max_rps =
@@ -295,7 +384,12 @@ double measure_max_throughput(const ServerSpec& server,
   TestbedConfig config = mixed_workload(server, clients, buy_client_fraction, seed);
   config.warmup_s = 40.0;
   config.measure_s = 120.0;
-  return run_testbed(config).throughput_rps;
+  config.fluid_threshold = options.fluid_threshold;
+  if (options.replications <= 1) return run_testbed(config).throughput_rps;
+  ReplicationOptions rep;
+  rep.replications = options.replications;
+  rep.pool = options.pool;
+  return run_replications(config, rep).summary.throughput_rps;
 }
 
 }  // namespace epp::sim::trade

@@ -23,6 +23,10 @@
 #include "sim/trade/session_cache.hpp"
 #include "util/rng.hpp"
 
+namespace epp::util {
+class ThreadPool;
+}
+
 namespace epp::sim::trade {
 
 /// An application server architecture. Speed is relative to the established
@@ -76,6 +80,10 @@ struct TestbedConfig {
   double db_speed = 1.0;
   double disk_speed = 1.0;
   std::optional<CacheConfig> cache;
+  /// When > 0 and the total closed-client population reaches this count,
+  /// run_testbed answers from the fluid (ODE) fast path instead of the
+  /// exact discrete-event engine (see sim/fluid.hpp). 0 = always exact.
+  std::size_t fluid_threshold = 0;
 };
 
 struct ClassResult {
@@ -99,6 +107,9 @@ struct RunResult {
   std::map<std::string, ClassResult> per_class;
   /// Quantile over all recorded response times (q in [0,1]).
   std::vector<double> rt_samples_s;  // retained for distribution studies
+  /// True when the fluid fast path produced this result (p90 fields are
+  /// then tail approximations, not measured order statistics).
+  bool solved_by_fluid = false;
 };
 
 /// Simulate one configuration and return its measurements. Deterministic
@@ -114,11 +125,22 @@ TestbedConfig mixed_workload(const ServerSpec& server, std::size_t clients,
                              double buy_client_fraction,
                              std::uint64_t seed = util::Rng::kDefaultSeed);
 
+/// How simulated measurements are taken: how many independent
+/// replications to average (seeds derived per index, merged
+/// deterministically — see sim/replicate.hpp), where to run them, and
+/// whether the fluid fast path may engage.
+struct MeasurementOptions {
+  std::size_t replications = 1;
+  std::size_t fluid_threshold = 0;  // forwarded to TestbedConfig
+  util::ThreadPool* pool = nullptr; // replications fan out here
+};
+
 /// Measure a server's max throughput under the given workload shape by
 /// driving it well past saturation. Used for the "application-specific
 /// benchmark run on new server architectures" the system model calls for.
 double measure_max_throughput(const ServerSpec& server,
                               double buy_client_fraction = 0.0,
-                              std::uint64_t seed = util::Rng::kDefaultSeed);
+                              std::uint64_t seed = util::Rng::kDefaultSeed,
+                              const MeasurementOptions& options = {});
 
 }  // namespace epp::sim::trade

@@ -65,6 +65,26 @@ double Rng::exponential(double mean) noexcept {
   return -mean * std::log(1.0 - uniform());
 }
 
+void Rng::fill_exponential(double mean, double* dst, std::size_t n) noexcept {
+  if (mean <= 0.0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0.0;
+    return;
+  }
+  // Two passes over small blocks: the first runs the generator back to
+  // back (keeps its state in registers), the second is a pure log+mul
+  // loop the compiler can software-pipeline.
+  constexpr std::size_t kBlock = 64;
+  double u[kBlock];
+  while (n > 0) {
+    const std::size_t m = n < kBlock ? n : kBlock;
+    for (std::size_t i = 0; i < m; ++i)
+      u[i] = 1.0 - static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    for (std::size_t i = 0; i < m; ++i) dst[i] = -mean * std::log(u[i]);
+    dst += m;
+    n -= m;
+  }
+}
+
 bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 std::uint64_t Rng::geometric_trials(double p) noexcept {

@@ -52,6 +52,12 @@ class Rng {
   std::uint64_t below(std::uint64_t n) noexcept;
   /// Exponential variate with the given mean (mean <= 0 returns 0).
   double exponential(double mean) noexcept;
+  /// Bulk sampler: fill dst[0..n) with iid exponential variates of the
+  /// given mean. Equivalent to n calls of exponential() (same draws in
+  /// the same order) but generates in blocks so the state updates and
+  /// the log transform pipeline — the batched think-time path used when
+  /// a simulation arms hundreds of thousands of client timers at once.
+  void fill_exponential(double mean, double* dst, std::size_t n) noexcept;
   /// Bernoulli trial.
   bool bernoulli(double p) noexcept;
   /// Geometric number of trials >= 1 with success probability p; used for

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
+
+#include "sim/legacy_engine.hpp"
+#include "util/rng.hpp"
 
 namespace epp::sim {
 namespace {
@@ -41,11 +46,28 @@ TEST(Engine, ScheduleAfterUsesCurrentTime) {
 TEST(Engine, CancelPreventsExecution) {
   Engine engine;
   bool ran = false;
-  auto handle = engine.schedule_at(1.0, [&] { ran = true; });
-  Engine::cancel(handle);
+  Engine::Handle handle = engine.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(handle);
+  engine.cancel(handle);
   engine.run_all();
   EXPECT_FALSE(ran);
   EXPECT_EQ(engine.events_processed(), 0u);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeOnStaleHandles) {
+  Engine engine;
+  int fired = 0;
+  Engine::Handle first = engine.schedule_at(1.0, [&] { ++fired; });
+  engine.cancel(first);
+  engine.cancel(first);  // double cancel: no-op
+  // The slot is reclaimed eagerly, so this schedule reuses it; the stale
+  // handle's generation no longer matches and must not cancel it.
+  Engine::Handle second = engine.schedule_at(2.0, [&] { ++fired; });
+  engine.cancel(first);
+  engine.run_all();
+  EXPECT_EQ(fired, 1);
+  engine.cancel(second);  // already fired: no-op
+  engine.cancel(Engine::Handle{});  // empty handle: no-op
 }
 
 TEST(Engine, RunUntilStopsAtBoundary) {
@@ -62,12 +84,47 @@ TEST(Engine, RunUntilStopsAtBoundary) {
   EXPECT_DOUBLE_EQ(engine.now(), 10.0);
 }
 
+// Regression (pre-refactor bug): run_until used the raw queue head's time
+// to decide whether to step, but step() skips canceled heads and executes
+// the next live event wherever it is — so a canceled head inside the
+// window let a live event far beyond end_time run. The loop is now driven
+// by peek_live_time(), which never reports canceled events.
+TEST(Engine, RunUntilIgnoresCanceledHeadBeforeLaterEvent) {
+  Engine engine;
+  bool late_ran = false;
+  Engine::Handle canceled = engine.schedule_at(1.0, [] {});
+  engine.schedule_at(20.0, [&] { late_ran = true; });
+  engine.cancel(canceled);
+  engine.run_until(10.0);
+  EXPECT_FALSE(late_ran);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+  engine.run_until(25.0);
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Engine, PeekLiveTimeSkipsCanceledEvents) {
+  Engine engine;
+  EXPECT_EQ(engine.peek_live_time(), std::numeric_limits<double>::infinity());
+  Engine::Handle early = engine.schedule_at(1.0, [] {});
+  engine.schedule_at(5.0, [] {});
+  EXPECT_DOUBLE_EQ(engine.peek_live_time(), 1.0);
+  engine.cancel(early);
+  EXPECT_DOUBLE_EQ(engine.peek_live_time(), 5.0);
+  engine.run_all();
+  EXPECT_EQ(engine.peek_live_time(), std::numeric_limits<double>::infinity());
+}
+
 TEST(Engine, PastSchedulingRejected) {
   Engine engine;
   engine.schedule_at(5.0, [] {});
   engine.run_all();
   EXPECT_THROW(engine.schedule_at(1.0, [] {}), std::invalid_argument);
   EXPECT_THROW(engine.schedule_after(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_at(std::nan(""), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      engine.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+      std::invalid_argument);
 }
 
 TEST(Engine, StepReturnsFalseWhenEmpty) {
@@ -88,6 +145,155 @@ TEST(Engine, EventsCanScheduleMoreEvents) {
   engine.run_all();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(engine.events_processed(), 100u);
+}
+
+TEST(Engine, RawDispatchCarriesContextAndArg) {
+  Engine engine;
+  std::vector<std::uint64_t> seen;
+  const Engine::RawFn push = [](void* ctx, std::uint64_t arg) {
+    static_cast<std::vector<std::uint64_t>*>(ctx)->push_back(arg);
+  };
+  engine.schedule_raw_at(2.0, push, &seen, 7);
+  engine.schedule_raw_at(1.0, push, &seen, 3);
+  engine.schedule_raw_after(3.0, push, &seen, 9);
+  engine.run_all();
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{3, 7, 9}));
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+// Satellite (b): canceled slots are reclaimed eagerly, so cancel-heavy
+// workloads reuse the slab instead of growing it.
+TEST(Engine, CanceledSlotsAreReusedWithoutGrowingTheSlab) {
+  Engine engine;
+  EXPECT_EQ(engine.pending(), 0u);
+  std::vector<Engine::Handle> handles;
+  for (int i = 0; i < 1000; ++i)
+    handles.push_back(engine.schedule_at(1.0 + i, [] {}));
+  EXPECT_EQ(engine.pending(), 1000u);
+  const std::size_t capacity_before = engine.capacity();
+  EXPECT_GE(capacity_before, 1000u);
+  for (const Engine::Handle& h : handles) engine.cancel(h);
+  EXPECT_EQ(engine.pending(), 0u);
+  // Many cancel/reschedule rounds: capacity must not grow past the first
+  // high-water mark because every canceled slot goes back on the free list.
+  for (int round = 0; round < 20; ++round) {
+    handles.clear();
+    for (int i = 0; i < 1000; ++i)
+      handles.push_back(engine.schedule_at(1.0 + i, [] {}));
+    for (const Engine::Handle& h : handles) engine.cancel(h);
+  }
+  EXPECT_EQ(engine.capacity(), capacity_before);
+  EXPECT_EQ(engine.pending(), 0u);
+  engine.run_all();
+  EXPECT_EQ(engine.events_processed(), 0u);
+}
+
+TEST(Engine, PendingTracksLiveEvents) {
+  Engine engine;
+  engine.schedule_at(1.0, [] {});
+  Engine::Handle h = engine.schedule_at(2.0, [] {});
+  engine.schedule_at(3.0, [] {});
+  EXPECT_EQ(engine.pending(), 3u);
+  engine.cancel(h);
+  EXPECT_EQ(engine.pending(), 2u);
+  engine.step();
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_all();
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+// The calendar queue's overflow ladder and year wrap: events spread over
+// ten orders of magnitude of simulated time still run in order.
+TEST(Engine, WidelySpacedTimesRunInOrder) {
+  Engine engine;
+  std::vector<double> fired;
+  util::Rng rng(7, 7);
+  std::vector<double> times;
+  for (int i = 0; i < 2000; ++i)
+    times.push_back(rng.uniform() * std::pow(10.0, rng.uniform(0.0, 10.0)));
+  for (const double t : times)
+    engine.schedule_at(t, [&fired, &engine] { fired.push_back(engine.now()); });
+  engine.run_all();
+  ASSERT_EQ(fired.size(), times.size());
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    EXPECT_LE(fired[i - 1], fired[i]);
+}
+
+// Satellite (c): one million equal-time events preserve global FIFO order.
+TEST(Engine, MillionEqualTimeEventsRunFifo) {
+  Engine engine;
+  constexpr std::uint64_t kEvents = 1'000'000;
+  std::vector<std::uint64_t> order;
+  order.reserve(kEvents);
+  const Engine::RawFn push = [](void* ctx, std::uint64_t arg) {
+    static_cast<std::vector<std::uint64_t>*>(ctx)->push_back(arg);
+  };
+  // Two interleaved time values so the FIFO guarantee is exercised within
+  // a bucket heap, not just by insertion order.
+  for (std::uint64_t i = 0; i < kEvents; ++i)
+    engine.schedule_raw_at(i % 2 == 0 ? 1.0 : 2.0, push, &order, i);
+  engine.run_all();
+  ASSERT_EQ(order.size(), kEvents);
+  for (std::uint64_t i = 1; i < kEvents / 2; ++i) {
+    ASSERT_EQ(order[i], order[i - 1] + 2);           // all the t=1.0 events
+    ASSERT_EQ(order[kEvents / 2 + i],                // then the t=2.0 events
+              order[kEvents / 2 + i - 1] + 2);
+  }
+  EXPECT_EQ(order.front(), 0u);
+  EXPECT_EQ(order[kEvents / 2], 1u);
+}
+
+// Satellite (c): the new engine's execution trace is bit-identical to the
+// frozen pre-refactor engine's under an adversarial stochastic schedule —
+// random times (with deliberate ties), nested scheduling, and cancels.
+TEST(Engine, TraceMatchesLegacyEngineBitForBit) {
+  struct Trace {
+    std::vector<double> times;
+    std::vector<std::uint64_t> ids;
+  };
+  // Quantized times manufacture equal-time collisions; every third event
+  // schedules a follow-up and every seventh pre-scheduled event is
+  // canceled before the run.
+  const auto drive = [](auto& engine, auto cancel_fn) {
+    Trace trace;
+    util::Rng rng(12345, 99);
+    std::uint64_t next_id = 0;
+    std::function<void(std::uint64_t)> fire = [&](std::uint64_t id) {
+      trace.times.push_back(engine.now());
+      trace.ids.push_back(id);
+      if (id % 3 == 0) {
+        const double delay = std::floor(rng.uniform() * 50.0) * 0.25;
+        const std::uint64_t child = 100000 + id;
+        engine.schedule_after(delay, [&fire, child] { fire(child); });
+      }
+    };
+    std::vector<decltype(engine.schedule_at(0.0, Engine::Callback{}))> handles;
+    for (int i = 0; i < 4000; ++i) {
+      const double t = std::floor(rng.uniform() * 400.0) * 0.25;
+      const std::uint64_t id = next_id++;
+      handles.push_back(engine.schedule_at(t, [&fire, id] { fire(id); }));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 7)
+      cancel_fn(engine, handles[i]);
+    engine.run_until(75.0);
+    engine.run_all();
+    return trace;
+  };
+
+  LegacyEngine legacy;
+  Engine engine;
+  const Trace want = drive(
+      legacy, [](LegacyEngine&, const LegacyEngine::Handle& h) {
+        LegacyEngine::cancel(h);
+      });
+  const Trace got = drive(
+      engine, [](Engine& e, const Engine::Handle& h) { e.cancel(h); });
+  ASSERT_EQ(want.ids.size(), got.ids.size());
+  EXPECT_EQ(want.ids, got.ids);
+  for (std::size_t i = 0; i < want.times.size(); ++i)
+    ASSERT_EQ(want.times[i], got.times[i]) << "at event " << i;
+  EXPECT_EQ(legacy.events_processed(), engine.events_processed());
+  EXPECT_EQ(legacy.now(), engine.now());
 }
 
 }  // namespace

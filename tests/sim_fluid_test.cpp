@@ -1,0 +1,120 @@
+// Fluid (ODE) fast path: routing, crossover accuracy, and scale.
+#include "sim/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/timer.hpp"
+
+namespace epp::sim::trade {
+namespace {
+
+double rel_err(double got, double want) {
+  return want == 0.0 ? std::abs(got) : std::abs(got - want) / std::abs(want);
+}
+
+TEST(SimFluid, ThresholdRoutesToFluidPath) {
+  TestbedConfig config = typical_workload(app_serv_f(), 3000, 42);
+  config.warmup_s = 2.0;
+  config.measure_s = 5.0;
+
+  EXPECT_FALSE(fluid_engages(config));  // threshold 0 = always exact
+  config.fluid_threshold = 3001;
+  EXPECT_FALSE(fluid_engages(config));  // population below threshold
+  config.fluid_threshold = 3000;
+  EXPECT_TRUE(fluid_engages(config));
+
+  const RunResult fluid = run_testbed(config);
+  EXPECT_TRUE(fluid.solved_by_fluid);
+  config.fluid_threshold = 0;
+  const RunResult exact = run_testbed(config);
+  EXPECT_FALSE(exact.solved_by_fluid);
+}
+
+// Acceptance criterion: at the crossover population the fluid answer is
+// within 5% of the exact engine's mean response time (and throughput).
+TEST(SimFluid, CrossoverAccuracyWithinFivePercent) {
+  TestbedConfig config = typical_workload(app_serv_f(), 2600, 42);
+  config.warmup_s = 20.0;
+  config.measure_s = 120.0;
+  const RunResult exact = run_testbed(config);
+
+  config.fluid_threshold = 1;
+  const RunResult fluid = run_testbed(config);
+  ASSERT_TRUE(fluid.solved_by_fluid);
+
+  EXPECT_LT(rel_err(fluid.mean_rt_s, exact.mean_rt_s), 0.05)
+      << "fluid mean RT " << fluid.mean_rt_s << " vs exact "
+      << exact.mean_rt_s;
+  EXPECT_LT(rel_err(fluid.throughput_rps, exact.throughput_rps), 0.05)
+      << "fluid throughput " << fluid.throughput_rps << " vs exact "
+      << exact.throughput_rps;
+  EXPECT_LT(rel_err(fluid.app_cpu_utilization, exact.app_cpu_utilization),
+            0.05);
+}
+
+TEST(SimFluid, MixedWorkloadStaysSane) {
+  TestbedConfig config = mixed_workload(app_serv_f(), 2600, 0.25, 42);
+  config.warmup_s = 20.0;
+  config.measure_s = 120.0;
+  const RunResult exact = run_testbed(config);
+  config.fluid_threshold = 1;
+  const RunResult fluid = run_testbed(config);
+  ASSERT_TRUE(fluid.solved_by_fluid);
+  // The buy-session aggregation is an approximation on top of the fluid
+  // limit; hold it to 10% here and 5% on the headline typical workload.
+  EXPECT_LT(rel_err(fluid.mean_rt_s, exact.mean_rt_s), 0.10);
+  EXPECT_LT(rel_err(fluid.throughput_rps, exact.throughput_rps), 0.10);
+  EXPECT_GT(fluid.buy_request_fraction, 0.0);
+}
+
+// The point of the fast path: a million-client data point in interactive
+// time. (The exact engine at this population would schedule ~10^6 think
+// timers before the first request completes.)
+TEST(SimFluid, MillionClientsSolveInteractively) {
+  TestbedConfig config = typical_workload(app_serv_f(), 1'000'000, 42);
+  config.fluid_threshold = 100'000;
+  const util::Timer timer;
+  const RunResult result = run_testbed(config);
+  EXPECT_LT(timer.elapsed_ms(), 2000.0);
+  ASSERT_TRUE(result.solved_by_fluid);
+  // One saturated server: throughput pinned at its max (~186 rps), the
+  // rest of the population queues, so RT ~ N/X - Z is enormous.
+  EXPECT_NEAR(result.throughput_rps, 186.0, 20.0);
+  EXPECT_GT(result.mean_rt_s, 1000.0);
+  EXPECT_NEAR(result.app_cpu_utilization, 1.0, 0.05);
+  EXPECT_EQ(result.rt_samples_s.size(), 0u);
+  const auto it = result.per_class.find("browse");
+  ASSERT_NE(it, result.per_class.end());
+  EXPECT_GT(it->second.completions, 0u);
+}
+
+TEST(SimFluid, P90IsTailApproximationOfMean) {
+  TestbedConfig config = typical_workload(app_serv_f(), 5000, 42);
+  config.fluid_threshold = 1;
+  const RunResult result = run_testbed(config);
+  ASSERT_TRUE(result.solved_by_fluid);
+  EXPECT_NEAR(result.p90_rt_s, result.mean_rt_s * std::log(10.0), 1e-9);
+}
+
+TEST(SimFluid, OpenClassUsesLittlesLaw) {
+  TestbedConfig config;
+  config.server = app_serv_f();
+  ServiceClassSpec open;
+  open.name = "open";
+  open.open_arrival_rps = 50.0;
+  config.classes.push_back(open);
+  // A closed companion class so the fluid threshold engages.
+  config.classes.push_back({"browse", UserType::kBrowse, 4000, 7.0});
+  config.fluid_threshold = 1000;
+  const RunResult result = run_testbed(config);
+  ASSERT_TRUE(result.solved_by_fluid);
+  const auto it = result.per_class.find("open");
+  ASSERT_NE(it, result.per_class.end());
+  EXPECT_NEAR(it->second.throughput_rps, 50.0, 1e-9);
+  EXPECT_GT(it->second.mean_rt_s, 0.0);
+}
+
+}  // namespace
+}  // namespace epp::sim::trade
