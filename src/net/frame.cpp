@@ -112,6 +112,7 @@ std::vector<std::uint8_t> encode_request(const RequestMessage& message) {
   put_f64(out, message.buy_clients);
   put_f64(out, message.think_time_s);
   put_f64(out, message.deadline_ms);
+  put_f64(out, message.observed_rt_s);
   put_string(out, message.server);
   return out;
 }
@@ -126,7 +127,9 @@ std::vector<std::uint8_t> encode_response(const ResponseMessage& message) {
   put_u8(out, message.error_code);
   put_u8(out, message.served_by);
   put_u8(out, message.flags);
+  put_u8(out, message.health);
   put_u32(out, message.retries);
+  put_u64(out, message.bundle_version);
   put_f64(out, message.mean_rt_s);
   put_f64(out, message.throughput_rps);
   put_f64(out, message.predictor_latency_s);
@@ -139,7 +142,7 @@ RequestMessage decode_request(const std::vector<std::uint8_t>& payload) {
   check_version(reader.u8());
   const std::uint8_t kind = reader.u8();
   if (kind < static_cast<std::uint8_t>(MessageKind::kPredict) ||
-      kind > static_cast<std::uint8_t>(MessageKind::kShutdown))
+      kind > static_cast<std::uint8_t>(MessageKind::kObserve))
     throw FrameError("unknown request kind " + std::to_string(kind));
   RequestMessage message;
   message.kind = static_cast<MessageKind>(kind);
@@ -149,6 +152,7 @@ RequestMessage decode_request(const std::vector<std::uint8_t>& payload) {
   message.buy_clients = reader.f64();
   message.think_time_s = reader.f64();
   message.deadline_ms = reader.f64();
+  message.observed_rt_s = reader.f64();
   message.server = reader.string();
   reader.done();
   return message;
@@ -164,7 +168,9 @@ ResponseMessage decode_response(const std::vector<std::uint8_t>& payload) {
   message.error_code = reader.u8();
   message.served_by = reader.u8();
   message.flags = reader.u8();
+  message.health = reader.u8();
   message.retries = reader.u32();
+  message.bundle_version = reader.u64();
   message.mean_rt_s = reader.f64();
   message.throughput_rps = reader.f64();
   message.predictor_latency_s = reader.f64();
@@ -174,13 +180,18 @@ ResponseMessage decode_response(const std::vector<std::uint8_t>& payload) {
 }
 
 bool write_frame(Socket& socket, const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> wire = frame_wire(payload);
+  return socket.send_all(wire.data(), wire.size());
+}
+
+std::vector<std::uint8_t> frame_wire(const std::vector<std::uint8_t>& payload) {
   if (payload.size() > kMaxFrameBytes)
     throw FrameError("frame payload exceeds kMaxFrameBytes");
   std::vector<std::uint8_t> wire;
   wire.reserve(4 + payload.size());
   put_u32(wire, static_cast<std::uint32_t>(payload.size()));
   wire.insert(wire.end(), payload.begin(), payload.end());
-  return socket.send_all(wire.data(), wire.size());
+  return wire;
 }
 
 bool read_frame(Socket& socket, std::vector<std::uint8_t>& payload) {

@@ -12,7 +12,11 @@
 //   u8  method              0 historical, 1 lqn, 2 hybrid
 //   f64 browse_clients, buy_clients, think_time_s
 //   f64 deadline_ms         0 = server default deadline
-//   u16 server_len, bytes   target server architecture name
+//   f64 observed_rt_s       kObserve: client-measured RT fed to the
+//                           drift detector; 0 elsewhere (v2)
+//   u16 server_len, bytes   target server architecture name; for kReload
+//                           this carries the candidate bundle path
+//                           (empty = re-read the server's configured path)
 //
 // Response body:
 //
@@ -21,7 +25,9 @@
 //   u8  error_code          svc::ErrorCode value when status != 0
 //   u8  served_by           method that produced the prediction
 //   u8  flags               bit0 fallback, bit1 stale, bit2 cached
+//   u8  health              serve::HealthState value (v2)
 //   u32 retries
+//   u64 bundle_version      registry version that served the request (v2)
 //   f64 mean_rt_s, throughput_rps
 //   f64 predictor_latency_s server-side wall time inside the predictor
 //   u16 detail_len, bytes   error detail / stats text
@@ -47,7 +53,7 @@ struct FrameError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
 
 /// Message kinds. Control kinds share the request layout.
@@ -56,6 +62,8 @@ enum class MessageKind : std::uint8_t {
   kPing = 2,      // liveness probe; response is an ok frame with no data
   kStats = 3,     // server + resilience counters as text in `detail`
   kShutdown = 4,  // begin graceful drain; acked before the server stops
+  kReload = 5,    // promote the bundle named in `server` (v2)
+  kObserve = 6,   // report a measured RT for drift detection (v2)
 };
 
 struct RequestMessage {
@@ -65,8 +73,9 @@ struct RequestMessage {
   double browse_clients = 0.0;
   double buy_clients = 0.0;
   double think_time_s = 7.0;
-  double deadline_ms = 0.0;  // 0 = server default
-  std::string server;
+  double deadline_ms = 0.0;     // 0 = server default
+  double observed_rt_s = 0.0;   // kObserve: measured RT for this workload
+  std::string server;           // architecture name / kReload bundle path
 };
 
 /// Response flag bits.
@@ -80,7 +89,9 @@ struct ResponseMessage {
   std::uint8_t error_code = 0;  // svc::ErrorCode value when status != 0
   std::uint8_t served_by = 0;
   std::uint8_t flags = 0;
+  std::uint8_t health = 0;      // serve::HealthState of the server
   std::uint32_t retries = 0;
+  std::uint64_t bundle_version = 0;  // registry version that answered
   double mean_rt_s = 0.0;
   double throughput_rps = 0.0;
   double predictor_latency_s = 0.0;
@@ -100,6 +111,11 @@ ResponseMessage decode_response(const std::vector<std::uint8_t>& payload);
 /// Write one frame (length prefix + payload). Returns false when the
 /// peer has gone away.
 bool write_frame(Socket& socket, const std::vector<std::uint8_t>& payload);
+
+/// The exact bytes write_frame would put on the wire (length prefix +
+/// payload). The chaos shim uses this to send *part* of a frame before
+/// resetting, or to dribble a frame in paced chunks.
+std::vector<std::uint8_t> frame_wire(const std::vector<std::uint8_t>& payload);
 
 /// Read one frame's payload. Returns false on clean EOF before a frame;
 /// throws FrameError on an oversized length prefix and SocketError on

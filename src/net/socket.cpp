@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -81,6 +82,8 @@ bool Socket::recv_all(void* data, std::size_t n) {
     const ssize_t received = ::recv(fd_, cursor + got, n - got, 0);
     if (received < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw SocketTimeout("recv: receive timeout elapsed");
       if (errno == ECONNRESET && got == 0) return false;
       raise("recv");
     }
@@ -93,6 +96,17 @@ bool Socket::recv_all(void* data, std::size_t n) {
   return true;
 }
 
+void Socket::set_recv_timeout(double seconds) noexcept {
+  if (fd_ < 0) return;
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;  // 0/0 would disarm
+  }
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
 void Socket::shutdown_write() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
@@ -103,6 +117,18 @@ void Socket::shutdown_read() noexcept {
 
 void Socket::shutdown_both() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::reset() noexcept {
+  if (fd_ < 0) return;
+  // Linger with a zero timeout turns the eventual close() into an
+  // abortive release: the kernel discards unsent data and fires an RST
+  // at the peer. The shutdown unblocks any thread parked in recv; the
+  // fd itself stays open until the owner destroys the Socket, so no
+  // concurrent reader can race a reused fd number.
+  linger hard{1, 0};
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  ::shutdown(fd_, SHUT_RDWR);
 }
 
 void Socket::close() noexcept {

@@ -29,6 +29,13 @@ struct SocketError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A receive timed out (set_recv_timeout elapsed with no bytes). Its own
+/// type so servers can tell an *idle* peer (close the session, count it)
+/// from a *broken* one (protocol error). Catch before SocketError.
+struct SocketTimeout : SocketError {
+  using SocketError::SocketError;
+};
+
 /// One connected TCP stream. Move-only; closes on destruction.
 class Socket {
  public:
@@ -51,8 +58,14 @@ class Socket {
   /// (EPIPE / ECONNRESET); throws SocketError on other failures.
   bool send_all(const void* data, std::size_t n);
   /// Read exactly n bytes. Returns false on clean EOF *before the first
-  /// byte*; throws SocketError on mid-message EOF or hard errors.
+  /// byte*; throws SocketTimeout when an armed receive timeout elapses,
+  /// SocketError on mid-message EOF or hard errors.
   bool recv_all(void* data, std::size_t n);
+
+  /// Arm a receive timeout (SO_RCVTIMEO): a recv_all that waits longer
+  /// than this throws SocketTimeout. seconds <= 0 disarms. A server uses
+  /// this to bound how long a silent client can pin a reader thread.
+  void set_recv_timeout(double seconds) noexcept;
 
   /// Half-close the write side (peer sees EOF after draining).
   void shutdown_write() noexcept;
@@ -62,6 +75,14 @@ class Socket {
   /// Shut down both directions; unblocks a recv_all parked in another
   /// thread (used to stop session readers during server drain).
   void shutdown_both() noexcept;
+  /// Arm an abortive close: SO_LINGER{1,0} plus a full shutdown, so any
+  /// reader parked on this socket unblocks now and the eventual close()
+  /// (destructor) discards unsent data and fires an RST at the peer
+  /// instead of an orderly FIN. The fd is NOT closed here — that would
+  /// race a concurrent recv_all with kernel fd reuse. This is how the
+  /// chaos harness simulates a connection reset; never use it on a
+  /// healthy session.
+  void reset() noexcept;
   void close() noexcept;
 
  private:

@@ -1,4 +1,4 @@
-#include "svc/server.hpp"
+#include "serve/server.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -7,10 +7,10 @@
 
 #include "util/timer.hpp"
 
-namespace epp::svc {
+namespace epp::serve {
 namespace {
 
-net::ResponseMessage error_response(std::uint64_t id, ErrorCode code,
+net::ResponseMessage error_response(std::uint64_t id, svc::ErrorCode code,
                                     std::string detail) {
   net::ResponseMessage response;
   response.id = id;
@@ -20,11 +20,17 @@ net::ResponseMessage error_response(std::uint64_t id, ErrorCode code,
   return response;
 }
 
+/// Bytes per slow-loris chunk: small enough that a typical ~70-byte
+/// response frame dribbles out over several paced sends.
+constexpr std::size_t kDribbleChunk = 16;
+
 }  // namespace
 
-PredictionServer::PredictionServer(const ResilientPredictor& predictor,
+PredictionServer::PredictionServer(BundleRegistry& registry,
                                    ServerOptions options)
-    : predictor_(predictor), options_(std::move(options)) {
+    : registry_(registry),
+      options_(std::move(options)),
+      drift_(options_.drift) {
   if (options_.workers == 0)
     throw std::invalid_argument("PredictionServer: workers must be >= 1");
   if (options_.queue_capacity == 0)
@@ -90,6 +96,10 @@ void PredictionServer::accept_loop() {
       break;  // listener died; shut the server down
     }
     if (!accepted) break;  // interrupted
+    if (options_.chaos != nullptr && options_.chaos->reset_on_accept()) {
+      accepted->reset();
+      continue;  // the destructor's close fires the RST
+    }
     if (open_sessions_.load(std::memory_order_acquire) >=
         options_.max_connections) {
       counters_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
@@ -128,11 +138,24 @@ void PredictionServer::reap_sessions(bool all) {
 }
 
 void PredictionServer::session_loop(SessionPtr session) {
+  if (options_.chaos != nullptr) {
+    // Accept-time stall: the session exists but its first read waits, as
+    // it would behind a loaded accept queue.
+    const double delay = options_.chaos->accept_delay_s();
+    if (delay > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+  if (options_.idle_timeout_s > 0.0)
+    session->socket.set_recv_timeout(options_.idle_timeout_s);
+
   std::vector<std::uint8_t> payload;
   while (!stopping()) {
     bool got = false;
     try {
       got = net::read_frame(session->socket, payload);
+    } catch (const net::SocketTimeout&) {
+      counters_.idle_closes.fetch_add(1, std::memory_order_relaxed);
+      break;  // silent client; reclaim the reader thread
     } catch (const std::exception&) {
       counters_.bad_frames.fetch_add(1, std::memory_order_relaxed);
       break;  // framing is lost; the only safe move is to close
@@ -145,21 +168,33 @@ void PredictionServer::session_loop(SessionPtr session) {
       request = net::decode_request(payload);
     } catch (const net::FrameError& error) {
       counters_.bad_frames.fetch_add(1, std::memory_order_relaxed);
-      write_response(*session, error_response(0, ErrorCode::kInternal,
+      write_response(*session, error_response(0, svc::ErrorCode::kInternal,
                                               error.what()));
       break;  // desynchronized stream; close
     }
 
-    if (request.kind != net::MessageKind::kPredict) {
+    if (request.kind != net::MessageKind::kPredict &&
+        request.kind != net::MessageKind::kObserve) {
       handle_control(*session, request);
       continue;
     }
 
     if (stopping()) {
       write_response(*session,
-                     error_response(request.id, ErrorCode::kOverloaded,
+                     error_response(request.id, svc::ErrorCode::kOverloaded,
                                     "server is draining"));
       break;
+    }
+
+    // Version pinning happens here, at admission: this request will be
+    // served by exactly this registry version, even if a promotion
+    // lands while it waits in the queue.
+    std::shared_ptr<const ServingVersion> pinned = registry_.active();
+    if (pinned == nullptr) {
+      write_response(*session,
+                     error_response(request.id, svc::ErrorCode::kNotCalibrated,
+                                    "no active bundle version"));
+      continue;
     }
 
     // Admission control: bounded queue, shed-on-full with a typed error
@@ -168,7 +203,8 @@ void PredictionServer::session_loop(SessionPtr session) {
     {
       const std::lock_guard lock(queue_mutex_);
       if (queue_.size() < options_.queue_capacity) {
-        queue_.push_back(WorkItem{session, std::move(request)});
+        queue_.push_back(
+            WorkItem{session, std::move(request), std::move(pinned)});
         const std::size_t depth = queue_.size();
         std::size_t peak = counters_.queue_peak.load(std::memory_order_relaxed);
         while (depth > peak &&
@@ -184,7 +220,7 @@ void PredictionServer::session_loop(SessionPtr session) {
     } else {
       counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
       write_response(*session,
-                     error_response(request.id, ErrorCode::kOverloaded,
+                     error_response(request.id, svc::ErrorCode::kOverloaded,
                                     "dispatch queue full (" +
                                         std::to_string(options_.queue_capacity) +
                                         " deep); request shed"));
@@ -211,20 +247,25 @@ void PredictionServer::worker_loop() {
     if (options_.worker_delay_s > 0.0)
       std::this_thread::sleep_for(
           std::chrono::duration<double>(options_.worker_delay_s));
-    net::ResponseMessage response = evaluate(item.request);
+    net::ResponseMessage response = evaluate(item.request, *item.pinned);
+    if (item.request.kind == net::MessageKind::kObserve && response.ok()) {
+      drift_track_version(item.pinned->version);
+      drift_.observe(response.mean_rt_s, item.request.observed_rt_s);
+    }
+    response.health = static_cast<std::uint8_t>(drift_.state());
     write_response(*item.session, response);
     counters_.requests_served.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 net::ResponseMessage PredictionServer::evaluate(
-    const net::RequestMessage& request) {
-  if (request.method > static_cast<std::uint8_t>(Method::kHybrid))
-    return error_response(request.id, ErrorCode::kInvalidWorkload,
+    const net::RequestMessage& request, const ServingVersion& version) {
+  if (request.method > static_cast<std::uint8_t>(svc::Method::kHybrid))
+    return error_response(request.id, svc::ErrorCode::kInvalidWorkload,
                           "unknown method byte " +
                               std::to_string(request.method));
-  PredictionRequest prediction_request;
-  prediction_request.method = static_cast<Method>(request.method);
+  svc::PredictionRequest prediction_request;
+  prediction_request.method = static_cast<svc::Method>(request.method);
   prediction_request.server = request.server;
   prediction_request.workload.browse_clients = request.browse_clients;
   prediction_request.workload.buy_clients = request.buy_clients;
@@ -237,15 +278,16 @@ net::ResponseMessage PredictionServer::evaluate(
     deadline_s = 0.0;
 
   const util::Timer timer;
-  const Outcome outcome =
-      predictor_.predict_with_deadline(prediction_request, deadline_s);
+  const svc::Outcome outcome =
+      version.resilient->predict_with_deadline(prediction_request, deadline_s);
   const double predictor_latency_s = timer.elapsed_seconds();
 
   net::ResponseMessage response;
   response.id = request.id;
+  response.bundle_version = version.version;
   response.predictor_latency_s = predictor_latency_s;
   if (outcome.ok()) {
-    const ResilientResult& result = outcome.value();
+    const svc::ResilientResult& result = outcome.value();
     response.served_by = static_cast<std::uint8_t>(result.served_by);
     response.flags = static_cast<std::uint8_t>(
         (result.fallback ? net::kFlagFallback : 0) |
@@ -262,16 +304,29 @@ net::ResponseMessage PredictionServer::evaluate(
   return response;
 }
 
+void PredictionServer::drift_track_version(std::uint64_t version) {
+  std::uint64_t seen = drift_version_.load(std::memory_order_acquire);
+  while (seen != version)
+    if (drift_version_.compare_exchange_weak(seen, version,
+                                             std::memory_order_acq_rel)) {
+      drift_.reset();  // new bundle: its error history starts clean
+      return;
+    }
+}
+
 void PredictionServer::handle_control(Session& session,
                                       const net::RequestMessage& request) {
   net::ResponseMessage response;
   response.id = request.id;
+  response.bundle_version = registry_.active_version();
+  response.health = static_cast<std::uint8_t>(drift_.state());
   switch (request.kind) {
     case net::MessageKind::kPing:
       break;  // an empty ok response is the pong
     case net::MessageKind::kStats: {
       const ServerStats server_stats = stats();
-      const ResilienceStats resilience = predictor_.stats();
+      const RegistryStats registry_stats = registry_.stats();
+      const DriftSnapshot drift_stats = drift_.snapshot();
       std::ostringstream text;
       text << "connections_accepted=" << server_stats.connections_accepted
            << " requests_enqueued=" << server_stats.requests_enqueued
@@ -280,14 +335,60 @@ void PredictionServer::handle_control(Session& session,
            << " queue_depth=" << server_stats.queue_depth
            << " queue_peak=" << server_stats.queue_peak
            << " open_sessions=" << server_stats.open_sessions
-           << " served=" << resilience.served
-           << " errors=" << resilience.errors
-           << " fallbacks=" << resilience.fallbacks
-           << " stale_serves=" << resilience.stale_serves
-           << " stale_evictions=" << resilience.stale_evictions
-           << " deadline_hits=" << resilience.deadline_hits
-           << " breaker_opens=" << resilience.breaker_opens;
+           << " idle_closes=" << server_stats.idle_closes
+           << " bundle_version=" << registry_stats.active_version
+           << " promotions=" << registry_stats.promotions
+           << " rejections=" << registry_stats.rejections
+           << " rollbacks=" << registry_stats.rollbacks
+           << " health=" << health_state_name(drift_stats.state)
+           << " drift_observations=" << drift_stats.observations
+           << " drift_trips=" << drift_stats.trips;
+      if (const auto active = registry_.active(); active != nullptr) {
+        const svc::ResilienceStats resilience = active->resilient->stats();
+        text << " served=" << resilience.served
+             << " errors=" << resilience.errors
+             << " fallbacks=" << resilience.fallbacks
+             << " stale_serves=" << resilience.stale_serves
+             << " stale_evictions=" << resilience.stale_evictions
+             << " deadline_hits=" << resilience.deadline_hits
+             << " breaker_opens=" << resilience.breaker_opens;
+      }
+      if (options_.chaos != nullptr) {
+        const net::ChaosStats chaos = options_.chaos->stats();
+        text << " chaos_accept_resets=" << chaos.accept_resets
+             << " chaos_accept_delays=" << chaos.accept_delays
+             << " chaos_write_resets=" << chaos.write_resets
+             << " chaos_write_truncates=" << chaos.write_truncates
+             << " chaos_dribbled_writes=" << chaos.dribbled_writes;
+      }
       response.detail = text.str();
+      break;
+    }
+    case net::MessageKind::kReload: {
+      ReloadStatus reload;
+      if (!options_.reload_handler) {
+        reload.message = "reload unsupported: no reload handler configured";
+      } else {
+        try {
+          reload = options_.reload_handler(request.server);
+        } catch (const std::exception& error) {
+          reload.ok = false;
+          reload.message = error.what();
+        }
+      }
+      if (reload.ok) {
+        counters_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+        // The promotion (or rollback) may have changed the active
+        // version; the drift history belongs to the old one.
+        drift_track_version(registry_.active_version());
+      } else {
+        counters_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
+        response.status = 1;
+        response.error_code =
+            static_cast<std::uint8_t>(svc::ErrorCode::kInternal);
+      }
+      response.bundle_version = registry_.active_version();
+      response.detail = reload.message;
       break;
     }
     case net::MessageKind::kShutdown:
@@ -296,7 +397,8 @@ void PredictionServer::handle_control(Session& session,
       request_stop();
       return;
     case net::MessageKind::kPredict:
-      return;  // unreachable; predicts never land here
+    case net::MessageKind::kObserve:
+      return;  // unreachable; work frames never land here
   }
   write_response(session, response);
 }
@@ -309,9 +411,42 @@ void PredictionServer::write_response(Session& session,
   }
   const std::vector<std::uint8_t> payload = net::encode_response(response);
   const std::lock_guard lock(session.write_mutex);
+  const net::ChaosPolicy* chaos = options_.chaos;
   bool wrote = false;
   try {
-    wrote = net::write_frame(session.socket, payload);
+    const net::WriteFault fault = chaos != nullptr
+                                      ? chaos->next_write_fault()
+                                      : net::WriteFault::kNone;
+    if (fault == net::WriteFault::kReset) {
+      // Injected fault, not a peer failure: the session dies by design
+      // and is not counted in responses_dropped (the chaos counters
+      // record it).
+      session.socket.reset();
+      session.dead.store(true, std::memory_order_release);
+      return;
+    }
+    if (fault == net::WriteFault::kTruncate) {
+      const std::vector<std::uint8_t> wire = net::frame_wire(payload);
+      (void)session.socket.send_all(wire.data(), wire.size() / 2);
+      session.socket.reset();
+      session.dead.store(true, std::memory_order_release);
+      return;
+    }
+    if (chaos != nullptr && chaos->dribble_writes()) {
+      const std::vector<std::uint8_t> wire = net::frame_wire(payload);
+      wrote = true;
+      for (std::size_t offset = 0; wrote && offset < wire.size();
+           offset += kDribbleChunk) {
+        const double pause = chaos->dribble_pause_s();
+        if (pause > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(pause));
+        wrote = session.socket.send_all(
+            wire.data() + offset, std::min(kDribbleChunk, wire.size() - offset));
+      }
+      if (wrote) chaos->count_dribbled_write();
+    } else {
+      wrote = net::write_frame(session.socket, payload);
+    }
   } catch (const std::exception&) {
     wrote = false;
   }
@@ -338,6 +473,10 @@ ServerStats PredictionServer::stats() const {
   stats.bad_frames = counters_.bad_frames.load(std::memory_order_relaxed);
   stats.responses_dropped =
       counters_.responses_dropped.load(std::memory_order_relaxed);
+  stats.idle_closes = counters_.idle_closes.load(std::memory_order_relaxed);
+  stats.reloads_ok = counters_.reloads_ok.load(std::memory_order_relaxed);
+  stats.reloads_failed =
+      counters_.reloads_failed.load(std::memory_order_relaxed);
   {
     const std::lock_guard lock(queue_mutex_);
     stats.queue_depth = queue_.size();
@@ -347,4 +486,4 @@ ServerStats PredictionServer::stats() const {
   return stats;
 }
 
-}  // namespace epp::svc
+}  // namespace epp::serve

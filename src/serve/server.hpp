@@ -1,6 +1,7 @@
 // The prediction serving daemon core: a long-running concurrent TCP
-// server wrapping ResilientPredictor behind the length-prefixed binary
-// protocol in src/net/frame.hpp.
+// server answering the length-prefixed binary protocol in
+// src/net/frame.hpp from whatever bundle version the BundleRegistry
+// currently holds active.
 //
 // Thread model (all threads are owned and joined by this class):
 //
@@ -8,14 +9,32 @@
 //     reader per connection (bounded by max_connections; excess
 //     connections are closed immediately);
 //   * one reader thread per live session — decodes frames and either
-//     answers control frames inline (ping/stats/shutdown) or enqueues
-//     predict work on the bounded dispatch queue;
+//     answers control frames inline (ping/stats/shutdown/reload) or
+//     enqueues predict/observe work on the bounded dispatch queue;
 //   * a fixed pool of worker threads — pop queued requests, evaluate
-//     them through the ResilientPredictor (per-request protocol
-//     deadlines ride the existing svc cancellation machinery), and
-//     write the response under the session's write lock, so concurrent
+//     them through the *version-pinned* ResilientPredictor, and write
+//     the response under the session's write lock, so concurrent
 //     workers can interleave responses on one connection safely
 //     (responses carry the request id; clients match, not order).
+//
+// Version pinning: the reader captures the registry's active
+// ServingVersion (a shared_ptr) at admission and the work item carries
+// it to the worker — a request admitted under version N is evaluated on
+// version N even when a reload promotes N+1 mid-flight, and never mixes
+// relationships across versions. The response reports the version that
+// answered in `bundle_version`.
+//
+// Drift: kObserve frames carry a client-measured RT; the worker
+// evaluates the same workload on the pinned version and feeds the
+// (predicted, observed) pair to the DriftDetector. Every response's
+// `health` byte carries the detector state; a version swap resets the
+// detector (new bundle, clean slate).
+//
+// Chaos: when ServerOptions.chaos is armed, the server *applies* the
+// decision-only net::ChaosPolicy verdicts — resets fresh connections at
+// accept, delays first reads, and resets / truncates / dribbles
+// response writes — so the loadgen harness can drive fault storms
+// against the real wire paths.
 //
 // Admission control: the dispatch queue is bounded. When it is full the
 // reader thread sheds the request *immediately* with a typed
@@ -33,6 +52,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -40,11 +60,20 @@
 #include <thread>
 #include <vector>
 
+#include "net/chaos.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
-#include "svc/resilient.hpp"
+#include "serve/drift.hpp"
+#include "serve/registry.hpp"
 
-namespace epp::svc {
+namespace epp::serve {
+
+/// What a kReload frame (or SIGHUP) produced; `message` travels back to
+/// the client in the response detail.
+struct ReloadStatus {
+  bool ok = false;
+  std::string message;
+};
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
@@ -58,6 +87,19 @@ struct ServerOptions {
   /// Cap on the per-request deadline a client may ask for (seconds);
   /// larger requests are clamped. 0 disables per-request deadlines.
   double max_request_deadline_s = 10.0;
+  /// Close a session whose client sends nothing for this long (seconds);
+  /// counted in idle_closes. 0 lets a silent client pin its reader
+  /// thread forever (the pre-timeout behaviour).
+  double idle_timeout_s = 0.0;
+  /// Drift detector configuration (applies to kObserve frames).
+  DriftOptions drift;
+  /// Answers kReload frames (and whatever the host wires SIGHUP to):
+  /// typically loads the named bundle file and promotes it through the
+  /// registry. Unset = reload unsupported, frames get a typed error.
+  std::function<ReloadStatus(const std::string& path)> reload_handler;
+  /// Non-owning wire-chaos policy; must outlive the server. nullptr
+  /// serves cleanly.
+  const net::ChaosPolicy* chaos = nullptr;
   /// Test hook: sleep this long in the worker before each evaluation,
   /// to provoke queue buildup/shedding deterministically. Never set in
   /// production paths.
@@ -74,6 +116,9 @@ struct ServerStats {
   std::uint64_t requests_shed = 0;     // kOverloaded at admission
   std::uint64_t bad_frames = 0;        // undecodable payloads
   std::uint64_t responses_dropped = 0; // peer gone before the write
+  std::uint64_t idle_closes = 0;       // sessions closed by idle timeout
+  std::uint64_t reloads_ok = 0;        // kReload frames that promoted
+  std::uint64_t reloads_failed = 0;
   std::size_t queue_depth = 0;
   std::size_t queue_peak = 0;
   std::size_t open_sessions = 0;
@@ -81,10 +126,9 @@ struct ServerStats {
 
 class PredictionServer {
  public:
-  /// Non-owning: the predictor (and everything under it) must outlive
-  /// the server.
-  PredictionServer(const ResilientPredictor& predictor,
-                   ServerOptions options = {});
+  /// Non-owning: the registry (and any chaos policy in the options)
+  /// must outlive the server.
+  PredictionServer(BundleRegistry& registry, ServerOptions options = {});
   ~PredictionServer();
 
   PredictionServer(const PredictionServer&) = delete;
@@ -115,6 +159,9 @@ class PredictionServer {
   void stop();
 
   ServerStats stats() const;
+  /// Drift state over the active version's observations.
+  DriftSnapshot drift() const { return drift_.snapshot(); }
+  BundleRegistry& registry() noexcept { return registry_; }
 
  private:
   struct Session {
@@ -127,21 +174,31 @@ class PredictionServer {
   struct WorkItem {
     SessionPtr session;
     net::RequestMessage request;
+    /// The registry version active at admission; the worker serves on
+    /// exactly this version (hot-swap isolation).
+    std::shared_ptr<const ServingVersion> pinned;
   };
 
   void accept_loop();
   void session_loop(SessionPtr session);
   void worker_loop();
-  /// Serialize and send under the session write lock; counts drops.
+  /// Serialize and send under the session write lock, applying any
+  /// armed chaos verdict (reset / truncate / dribble); counts drops.
   void write_response(Session& session, const net::ResponseMessage& response);
   void handle_control(Session& session, const net::RequestMessage& request);
-  net::ResponseMessage evaluate(const net::RequestMessage& request);
+  net::ResponseMessage evaluate(const net::RequestMessage& request,
+                                const ServingVersion& version);
+  /// Reset the drift detector when the observed version changes.
+  void drift_track_version(std::uint64_t version);
   /// Reap finished session-reader threads (called from the accept loop).
   void reap_sessions(bool all);
 
-  const ResilientPredictor& predictor_;
+  BundleRegistry& registry_;
   ServerOptions options_;
   std::uint16_t port_ = 0;
+
+  DriftDetector drift_;
+  std::atomic<std::uint64_t> drift_version_{0};
 
   std::unique_ptr<net::Listener> listener_;
   std::thread accept_thread_;
@@ -177,9 +234,12 @@ class PredictionServer {
     std::atomic<std::uint64_t> requests_shed{0};
     std::atomic<std::uint64_t> bad_frames{0};
     std::atomic<std::uint64_t> responses_dropped{0};
+    std::atomic<std::uint64_t> idle_closes{0};
+    std::atomic<std::uint64_t> reloads_ok{0};
+    std::atomic<std::uint64_t> reloads_failed{0};
     std::atomic<std::size_t> queue_peak{0};
   };
   mutable Counters counters_;
 };
 
-}  // namespace epp::svc
+}  // namespace epp::serve

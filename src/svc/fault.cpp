@@ -73,7 +73,8 @@ FaultConfig lint_fault_spec(const std::string& spec,
                             lint::Diagnostics& diagnostics) {
   FaultConfig config;
   // (method, knob) assignment tracking for the duplicate rule: index 0/1 =
-  // fail / latency-ms per method in FaultConfig declaration order.
+  // fail / latency-ms per method in FaultConfig declaration order. The net
+  // target tracks its five knobs in its own array.
   constexpr std::size_t kKnobs = 2;
   constexpr std::array<Method, 3> kMethods{Method::kHistorical, Method::kLqn,
                                            Method::kHybrid};
@@ -81,6 +82,11 @@ FaultConfig lint_fault_spec(const std::string& spec,
   const auto knob_index = [&](Method method, std::size_t knob) {
     return static_cast<std::size_t>(method) * kKnobs + knob;
   };
+  // Net knob slots: reset, truncate, accept-reset, accept-delay-ms,
+  // dribble-ms. The first three are probabilities (<= 1).
+  constexpr std::array<const char*, 5> kNetKnobs{
+      "reset", "truncate", "accept-reset", "accept-delay-ms", "dribble-ms"};
+  std::array<bool, kNetKnobs.size()> net_assigned{};
 
   for (const std::string& clause : split(spec, ';')) {
     const auto colon = clause.find(':');
@@ -91,16 +97,17 @@ FaultConfig lint_fault_spec(const std::string& spec,
       continue;
     }
     const std::string target = clause.substr(0, colon);
+    const bool is_net = target == "net";
     std::vector<Method> methods;
     if (target == "*") {
       methods.assign(kMethods.begin(), kMethods.end());
-    } else {
+    } else if (!is_net) {
       try {
         methods = {method_from_name(target)};
       } catch (const std::invalid_argument&) {
         diagnostics.error("EPP-FLT-002", where,
                           "unknown target '" + target + "'",
-                          "targets are historical, lqn, hybrid or '*'");
+                          "targets are historical, lqn, hybrid, '*' or net");
         continue;
       }
     }
@@ -108,7 +115,8 @@ FaultConfig lint_fault_spec(const std::string& spec,
     if (knobs.empty()) {
       diagnostics.error("EPP-FLT-001", where,
                         "clause '" + clause + "' has no knobs",
-                        "append fail=P and/or latency-ms=MS");
+                        is_net ? "append e.g. reset=P or dribble-ms=MS"
+                               : "append fail=P and/or latency-ms=MS");
       continue;
     }
     for (const std::string& knob : knobs) {
@@ -119,15 +127,27 @@ FaultConfig lint_fault_spec(const std::string& spec,
         continue;
       }
       const std::string name = knob.substr(0, eq);
-      std::size_t knob_slot = 0;
-      if (name == "fail") {
-        knob_slot = 0;
-      } else if (name == "latency-ms") {
-        knob_slot = 1;
-      } else {
-        diagnostics.error("EPP-FLT-002", where,
-                          "unknown knob '" + name + "'",
-                          "knobs are fail=P and latency-ms=MS");
+      const bool is_method_knob = name == "fail" || name == "latency-ms";
+      std::size_t net_slot = kNetKnobs.size();
+      for (std::size_t i = 0; i < kNetKnobs.size(); ++i)
+        if (name == kNetKnobs[i]) net_slot = i;
+      const bool is_net_knob = net_slot < kNetKnobs.size();
+      if (!is_method_knob && !is_net_knob) {
+        diagnostics.error(
+            "EPP-FLT-002", where, "unknown knob '" + name + "'",
+            "method knobs are fail=P and latency-ms=MS; net knobs are "
+            "reset=P, truncate=P, accept-reset=P, accept-delay-ms=MS, "
+            "dribble-ms=MS");
+        continue;
+      }
+      if (is_net != is_net_knob) {
+        diagnostics.error(
+            "EPP-FLT-005", where,
+            is_net ? "method knob '" + name + "' on the net target"
+                   : "net knob '" + name + "' on target '" + target + "'",
+            is_net ? "the net target takes reset/truncate/accept-reset/"
+                     "accept-delay-ms/dribble-ms"
+                   : "wire-level knobs go under the 'net:' target");
         continue;
       }
       double value = 0.0;
@@ -144,11 +164,34 @@ FaultConfig lint_fault_spec(const std::string& spec,
                               "' wants a finite non-negative value");
         continue;
       }
-      if (knob_slot == 0 && value > 1.0) {
+      const bool is_probability =
+          name == "fail" || (is_net_knob && net_slot <= 2);
+      if (is_probability && value > 1.0) {
         diagnostics.error("EPP-FLT-003", where,
-                          "fail probability '" + knob + "' exceeds 1");
+                          "probability '" + knob + "' exceeds 1");
         continue;
       }
+      if (is_net) {
+        if (net_assigned[net_slot]) {
+          diagnostics.error("EPP-FLT-004", where,
+                            "duplicate '" + name +
+                                "' assignment for net in clause '" + clause +
+                                "'",
+                            "the net target takes one '" + name +
+                                "' assignment");
+          continue;
+        }
+        net_assigned[net_slot] = true;
+        switch (net_slot) {
+          case 0: config.net.reset_p = value; break;
+          case 1: config.net.truncate_p = value; break;
+          case 2: config.net.accept_reset_p = value; break;
+          case 3: config.net.accept_delay_s = value / 1e3; break;
+          default: config.net.dribble_s = value / 1e3; break;
+        }
+        continue;
+      }
+      const std::size_t knob_slot = name == "fail" ? 0 : 1;
       for (const Method method : methods) {
         if (assigned[knob_index(method, knob_slot)]) {
           diagnostics.error(
@@ -170,6 +213,22 @@ FaultConfig lint_fault_spec(const std::string& spec,
       }
     }
   }
+  // A chaos policy that resets or truncates (almost) every response, or
+  // refuses (almost) every accept, leaves nothing for the harness to
+  // measure — the spec parses, but flag it as suspicious.
+  if (config.net.reset_p + config.net.truncate_p > 0.9)
+    diagnostics.warning(
+        "EPP-FLT-006", where,
+        "net reset+truncate rate " +
+            lint::fmt_value(config.net.reset_p + config.net.truncate_p) +
+            " faults nearly every response",
+        "keep reset+truncate at or below 0.9 so some requests complete");
+  if (config.net.accept_reset_p > 0.9)
+    diagnostics.warning(
+        "EPP-FLT-006", where,
+        "net accept-reset rate " + lint::fmt_value(config.net.accept_reset_p) +
+            " rejects nearly every connection",
+        "keep accept-reset at or below 0.9 so clients can connect");
   return config;
 }
 

@@ -16,16 +16,20 @@
 //     serving layer adds to a request's elapsed time before deadline
 //     checks. No thread ever sleeps, so deadline tests are deterministic.
 //
-// Spec grammar (the epp_sweep --fault-spec flag):
+// Spec grammar (the epp_sweep/epp_serve --fault-spec flag):
 //   spec    := clause (';' clause)*
 //   clause  := target ':' knob (',' knob)*
-//   target  := 'historical' | 'lqn' | 'hybrid' | '*'
-//   knob    := 'fail=' P | 'latency-ms=' MS
-// e.g. "lqn:fail=0.3,latency-ms=20;historical:latency-ms=5". The '*'
-// target expands to all three methods; assigning the same knob to the
-// same method twice (directly or through '*') is rejected — the old
-// grammar silently kept the last assignment, which made overlapping
-// specs order-dependent.
+//   target  := 'historical' | 'lqn' | 'hybrid' | '*' | 'net'
+//   knob    := 'fail=' P | 'latency-ms=' MS          (method targets)
+//            | 'reset=' P | 'truncate=' P            (net target)
+//            | 'accept-reset=' P | 'accept-delay-ms=' MS
+//            | 'dribble-ms=' MS
+// e.g. "lqn:fail=0.3,latency-ms=20;net:reset=0.05,dribble-ms=2". The '*'
+// target expands to all three methods (never to 'net'); assigning the
+// same knob to the same target twice (directly or through '*') is
+// rejected — the old grammar silently kept the last assignment, which
+// made overlapping specs order-dependent. Method knobs on the net target
+// (and vice versa) are a domain-mismatch error, not a silent no-op.
 #pragma once
 
 #include <atomic>
@@ -38,6 +42,7 @@
 #include <utility>
 
 #include "lint/diagnostic.hpp"
+#include "net/chaos.hpp"
 #include "svc/prediction_cache.hpp"
 
 namespace epp::svc {
@@ -66,9 +71,14 @@ struct FaultConfig {
   MethodFaults historical;
   MethodFaults lqn;
   MethodFaults hybrid;
+  net::ChaosConfig net;  // wire-level chaos; consumed by the serving tier
 
   const MethodFaults& for_method(Method method) const;
   MethodFaults& for_method(Method method);
+  /// True when any *method* fault is configured. Deliberately excludes
+  /// the net chaos rates: the FaultInjector only drives predictor
+  /// evaluations, and resilience policies must not change shape because
+  /// the wire is chaotic. Ask `net.any()` for that.
   bool any() const noexcept;
 };
 
@@ -79,9 +89,14 @@ struct FaultConfig {
 ///   EPP-FLT-001 (error) malformed clause or knob shape
 ///   EPP-FLT-002 (error) unknown target or knob name
 ///   EPP-FLT-003 (error) knob value out of range (non-numeric,
-///                       non-finite, negative, fail > 1)
-///   EPP-FLT-004 (error) duplicate knob assignment for a method
+///                       non-finite, negative, probability > 1)
+///   EPP-FLT-004 (error) duplicate knob assignment for a target
 ///                       (directly or through the '*' target)
+///   EPP-FLT-005 (error) target/knob domain mismatch (net knob on a
+///                       method target, or method knob on 'net')
+///   EPP-FLT-006 (warn)  implausibly aggressive chaos — combined
+///                       reset+truncate or accept-reset rates so high
+///                       the harness cannot complete a run
 FaultConfig lint_fault_spec(const std::string& spec,
                             const lint::SourceLocation& where,
                             lint::Diagnostics& diagnostics);

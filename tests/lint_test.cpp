@@ -464,6 +464,91 @@ TEST(LintFaultSpec, CollectsEveryClauseDefect) {
       << lint::render_text(diagnostics);
 }
 
+TEST(LintFaultSpec, NetTargetParsesEveryWireKnob) {
+  const svc::FaultConfig config = svc::parse_fault_spec(
+      "net:reset=0.05,truncate=0.02,accept-reset=0.1,accept-delay-ms=5,"
+      "dribble-ms=2");
+  EXPECT_DOUBLE_EQ(config.net.reset_p, 0.05);
+  EXPECT_DOUBLE_EQ(config.net.truncate_p, 0.02);
+  EXPECT_DOUBLE_EQ(config.net.accept_reset_p, 0.1);
+  EXPECT_DOUBLE_EQ(config.net.accept_delay_s, 0.005);
+  EXPECT_DOUBLE_EQ(config.net.dribble_s, 0.002);
+  EXPECT_TRUE(config.net.any());
+  // Wire chaos must NOT count as method faults: FaultConfig::any() is
+  // what ResilientPredictor consults to classify injected failures as
+  // retryable, and a net-only spec must not change that classification.
+  EXPECT_FALSE(config.any());
+}
+
+TEST(LintFaultSpec, StarNeverExpandsToNet) {
+  const svc::FaultConfig star = svc::parse_fault_spec("*:fail=0.1");
+  EXPECT_FALSE(star.net.any());
+  const svc::FaultConfig mixed =
+      svc::parse_fault_spec("net:reset=0.5;*:fail=0.1,latency-ms=3");
+  EXPECT_DOUBLE_EQ(mixed.net.reset_p, 0.5);
+  EXPECT_DOUBLE_EQ(mixed.lqn.fail_probability, 0.1);
+  EXPECT_DOUBLE_EQ(mixed.historical.latency_s, 0.003);
+}
+
+TEST(LintFaultSpec, DomainMismatchIsTypedError005) {
+  // Wire knobs on a method target (and vice versa) are a category
+  // mistake, not a typo: their own rule so the hint can point at the
+  // right grammar.
+  for (const char* bad : {"lqn:reset=0.1", "*:dribble-ms=5", "net:fail=0.5",
+                          "net:latency-ms=10"}) {
+    Diagnostics diagnostics;
+    svc::lint_fault_spec(bad, {"<spec>", 0}, diagnostics);
+    ASSERT_TRUE(diagnostics.has_errors()) << bad;
+    EXPECT_EQ(diagnostics.first_at_least(Severity::kError)->rule,
+              "EPP-FLT-005")
+        << bad;
+    EXPECT_THROW((void)svc::parse_fault_spec(bad), std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(LintFaultSpec, DuplicateNetKnobIsError004) {
+  Diagnostics diagnostics;
+  svc::lint_fault_spec("net:reset=0.1,reset=0.2", {"<spec>", 0}, diagnostics);
+  ASSERT_TRUE(diagnostics.has_errors());
+  EXPECT_EQ(diagnostics.first_at_least(Severity::kError)->rule,
+            "EPP-FLT-004");
+}
+
+TEST(LintFaultSpec, NetProbabilitiesAreRangeCheckedLikeFail) {
+  for (const char* bad :
+       {"net:reset=1.5", "net:truncate=-0.1", "net:accept-reset=nan"}) {
+    EXPECT_THROW((void)svc::parse_fault_spec(bad), std::invalid_argument)
+        << bad;
+  }
+  // Delays are means in ms, not probabilities: values above 1 are fine.
+  EXPECT_NO_THROW((void)svc::parse_fault_spec("net:accept-delay-ms=250"));
+}
+
+TEST(LintFaultSpec, NearTotalChaosWarns006ButStillParses) {
+  // A storm that faults nearly every write (or refuses nearly every
+  // accept) measures nothing; the spec is legal but suspicious, so it
+  // parses with a warning — parse_fault_spec only throws on errors.
+  Diagnostics writes;
+  const svc::FaultConfig config = svc::lint_fault_spec(
+      "net:reset=0.6,truncate=0.4", {"<spec>", 0}, writes);
+  EXPECT_FALSE(writes.has_errors());
+  EXPECT_EQ(writes.count(Severity::kWarning), 1u) << lint::render_text(writes);
+  EXPECT_EQ(writes.first_at_least(Severity::kWarning)->rule, "EPP-FLT-006");
+  EXPECT_DOUBLE_EQ(config.net.reset_p, 0.6);
+  EXPECT_NO_THROW((void)svc::parse_fault_spec("net:reset=0.6,truncate=0.4"));
+
+  Diagnostics accepts;
+  svc::lint_fault_spec("net:accept-reset=0.95", {"<spec>", 0}, accepts);
+  EXPECT_EQ(accepts.count(Severity::kWarning), 1u)
+      << lint::render_text(accepts);
+
+  Diagnostics sane;
+  svc::lint_fault_spec("net:reset=0.3,truncate=0.3,accept-reset=0.5",
+                       {"<spec>", 0}, sane);
+  EXPECT_TRUE(sane.empty()) << lint::render_text(sane);
+}
+
 // --- bundle duplicate rejection through the legacy loader ------------------
 
 TEST(BundleLoader, DuplicateRecordsNowThrow) {

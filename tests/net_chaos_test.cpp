@@ -1,0 +1,136 @@
+// Network chaos policy: deterministic replay, verdict banding, delay
+// capping and injection accounting. The policy is decision-only, so the
+// whole contract is testable without a socket; the server-side effects
+// (RSTs on the wire, truncated frames) are exercised by the serving
+// suite and the CI chaos smoke job.
+#include "net/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace epp::net {
+namespace {
+
+ChaosConfig storm_config() {
+  ChaosConfig config;
+  config.accept_reset_p = 0.2;
+  config.accept_delay_s = 0.003;
+  config.reset_p = 0.15;
+  config.truncate_p = 0.10;
+  config.dribble_s = 0.002;
+  return config;
+}
+
+TEST(ChaosPolicy, DisabledConfigNeverFires) {
+  const ChaosPolicy policy{ChaosConfig{}};
+  EXPECT_FALSE(policy.config().any());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(policy.reset_on_accept());
+    EXPECT_EQ(policy.accept_delay_s(), 0.0);
+    EXPECT_EQ(policy.next_write_fault(), WriteFault::kNone);
+    EXPECT_FALSE(policy.dribble_writes());
+    EXPECT_EQ(policy.dribble_pause_s(), 0.0);
+  }
+  const ChaosStats stats = policy.stats();
+  EXPECT_EQ(stats.accept_resets, 0u);
+  EXPECT_EQ(stats.write_resets, 0u);
+  EXPECT_EQ(stats.write_truncates, 0u);
+}
+
+TEST(ChaosPolicy, SameSeedReplaysTheExactFaultStorm) {
+  // The whole point of deterministic chaos: two policies with the same
+  // (config, seed) produce identical verdicts in identical order, a
+  // different seed a different storm.
+  const ChaosPolicy a{storm_config(), 7}, b{storm_config(), 7};
+  const ChaosPolicy other{storm_config(), 8};
+  bool diverged = false;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.reset_on_accept(), b.reset_on_accept()) << i;
+    EXPECT_EQ(a.accept_delay_s(), b.accept_delay_s()) << i;
+    const WriteFault fault = a.next_write_fault();
+    EXPECT_EQ(fault, b.next_write_fault()) << i;
+    EXPECT_EQ(a.dribble_pause_s(), b.dribble_pause_s()) << i;
+    if (fault != other.next_write_fault()) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "different seeds produced the same storm";
+  EXPECT_EQ(a.stats().write_resets, b.stats().write_resets);
+  EXPECT_EQ(a.stats().write_truncates, b.stats().write_truncates);
+}
+
+TEST(ChaosPolicy, CertainRatesAlwaysFire) {
+  ChaosConfig all_reset;
+  all_reset.reset_p = 1.0;
+  const ChaosPolicy resets{all_reset};
+  ChaosConfig all_truncate;
+  all_truncate.truncate_p = 1.0;
+  const ChaosPolicy truncates{all_truncate};
+  ChaosConfig all_refuse;
+  all_refuse.accept_reset_p = 1.0;
+  const ChaosPolicy refusals{all_refuse};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(resets.next_write_fault(), WriteFault::kReset);
+    EXPECT_EQ(truncates.next_write_fault(), WriteFault::kTruncate);
+    EXPECT_TRUE(refusals.reset_on_accept());
+  }
+  EXPECT_EQ(resets.stats().write_resets, 50u);
+  EXPECT_EQ(truncates.stats().write_truncates, 50u);
+  EXPECT_EQ(refusals.stats().accept_resets, 50u);
+}
+
+TEST(ChaosPolicy, WriteVerdictRatesMatchTheConfiguredBands) {
+  // One uniform draw decides reset vs truncate vs clean; over many draws
+  // the empirical rates must sit near the configured bands (the draws
+  // are a fixed pseudorandom sequence, so this is deterministic, not
+  // flaky — the tolerance absorbs the sequence's finite-sample noise).
+  ChaosConfig config;
+  config.reset_p = 0.30;
+  config.truncate_p = 0.20;
+  const ChaosPolicy policy{config};
+  constexpr int kDraws = 20'000;
+  int resets = 0, truncates = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    switch (policy.next_write_fault()) {
+      case WriteFault::kReset: ++resets; break;
+      case WriteFault::kTruncate: ++truncates; break;
+      case WriteFault::kNone: break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(resets) / kDraws, 0.30, 0.02);
+  EXPECT_NEAR(static_cast<double>(truncates) / kDraws, 0.20, 0.02);
+  EXPECT_EQ(policy.stats().write_resets, static_cast<std::uint64_t>(resets));
+  EXPECT_EQ(policy.stats().write_truncates,
+            static_cast<std::uint64_t>(truncates));
+}
+
+TEST(ChaosPolicy, DelaysAreExponentialWithHardCaps) {
+  ChaosConfig config;
+  config.accept_delay_s = 0.010;
+  config.dribble_s = 1.0;  // absurd mean: the cap must bite
+  const ChaosPolicy policy{config};
+  double total = 0.0;
+  for (int i = 0; i < 5'000; ++i) {
+    const double delay = policy.accept_delay_s();
+    EXPECT_GE(delay, 0.0);
+    EXPECT_LE(delay, 10.0 * config.accept_delay_s) << "10x-mean cap broken";
+    total += delay;
+    // Slow-loris pauses are capped at 50 ms per chunk regardless of the
+    // configured mean, so one chaotic write stays bounded.
+    EXPECT_LE(policy.dribble_pause_s(), 0.050);
+  }
+  // Mean of the capped exponential is a bit under the configured mean.
+  EXPECT_NEAR(total / 5'000, config.accept_delay_s,
+              0.3 * config.accept_delay_s);
+  EXPECT_TRUE(policy.dribble_writes());
+}
+
+TEST(ChaosPolicy, DribbledWritesAreCountedByTheCaller) {
+  const ChaosPolicy policy{storm_config()};
+  for (int i = 0; i < 3; ++i) policy.count_dribbled_write();
+  EXPECT_EQ(policy.stats().dribbled_writes, 3u);
+}
+
+}  // namespace
+}  // namespace epp::net

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <thread>
@@ -23,6 +24,7 @@ RequestMessage sample_request() {
   request.buy_clients = 200.0;
   request.think_time_s = 7.0;
   request.deadline_ms = 250.5;
+  request.observed_rt_s = 0.3125;
   request.server = "AppServVF";
   return request;
 }
@@ -34,7 +36,9 @@ ResponseMessage sample_response() {
   response.error_code = 7;
   response.served_by = 1;
   response.flags = kFlagFallback | kFlagStale;
+  response.health = 2;
   response.retries = 3;
+  response.bundle_version = 0x1122334455667788ULL;
   response.mean_rt_s = 0.125;
   response.throughput_rps = 96.5;
   response.predictor_latency_s = 0.0005;
@@ -57,6 +61,7 @@ TEST(NetFrame, RequestRoundTripsExactly) {
   EXPECT_EQ(decoded.buy_clients, request.buy_clients);
   EXPECT_EQ(decoded.think_time_s, request.think_time_s);
   EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded.observed_rt_s, request.observed_rt_s);
   EXPECT_EQ(decoded.server, request.server);
 }
 
@@ -68,7 +73,9 @@ TEST(NetFrame, ResponseRoundTripsExactly) {
   EXPECT_EQ(decoded.error_code, response.error_code);
   EXPECT_EQ(decoded.served_by, response.served_by);
   EXPECT_EQ(decoded.flags, response.flags);
+  EXPECT_EQ(decoded.health, response.health);
   EXPECT_EQ(decoded.retries, response.retries);
+  EXPECT_EQ(decoded.bundle_version, response.bundle_version);
   EXPECT_EQ(decoded.mean_rt_s, response.mean_rt_s);
   EXPECT_EQ(decoded.throughput_rps, response.throughput_rps);
   EXPECT_EQ(decoded.predictor_latency_s, response.predictor_latency_s);
@@ -78,12 +85,46 @@ TEST(NetFrame, ResponseRoundTripsExactly) {
 
 TEST(NetFrame, ControlKindsRoundTrip) {
   for (const MessageKind kind :
-       {MessageKind::kPing, MessageKind::kStats, MessageKind::kShutdown}) {
+       {MessageKind::kPing, MessageKind::kStats, MessageKind::kShutdown,
+        MessageKind::kReload, MessageKind::kObserve}) {
     RequestMessage request;
     request.kind = kind;
     request.id = 9;
     EXPECT_EQ(decode_request(encode_request(request)).kind, kind);
   }
+}
+
+TEST(NetFrame, ReloadCarriesTheCandidatePathInTheServerField) {
+  RequestMessage reload;
+  reload.kind = MessageKind::kReload;
+  reload.id = 4;
+  reload.server = "artifacts/refit.epp";
+  const RequestMessage decoded = decode_request(encode_request(reload));
+  EXPECT_EQ(decoded.kind, MessageKind::kReload);
+  EXPECT_EQ(decoded.server, "artifacts/refit.epp");
+}
+
+TEST(NetFrame, ObserveCarriesTheMeasuredResponseTime) {
+  RequestMessage observe = sample_request();
+  observe.kind = MessageKind::kObserve;
+  observe.observed_rt_s = 1.75;
+  const RequestMessage decoded = decode_request(encode_request(observe));
+  EXPECT_EQ(decoded.kind, MessageKind::kObserve);
+  EXPECT_EQ(decoded.observed_rt_s, 1.75);
+}
+
+TEST(NetFrame, FrameWireIsTheLengthPrefixedPayload) {
+  // frame_wire is what the chaos truncation path cuts in half: it must
+  // be byte-identical to what write_frame puts on the socket.
+  const std::vector<std::uint8_t> payload = encode_request(sample_request());
+  const std::vector<std::uint8_t> wire = frame_wire(payload);
+  ASSERT_EQ(wire.size(), payload.size() + 4);
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  EXPECT_EQ(wire[0], static_cast<std::uint8_t>(length & 0xFF));
+  EXPECT_EQ(wire[1], static_cast<std::uint8_t>((length >> 8) & 0xFF));
+  EXPECT_EQ(wire[2], static_cast<std::uint8_t>((length >> 16) & 0xFF));
+  EXPECT_EQ(wire[3], static_cast<std::uint8_t>((length >> 24) & 0xFF));
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), wire.begin() + 4));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,9 +1,11 @@
-// Serving daemon core: loopback round trips, admission control (bounded
-// queue, shed with typed kOverloaded), per-request protocol deadlines,
-// control frames, connection caps and graceful drain. Calibrated without
-// the simulator (same fixture as the resilient suite) so every scenario
-// is fast and exact.
-#include "svc/server.hpp"
+// Serving daemon core over the hot-swap registry: loopback round trips,
+// admission control (bounded queue, shed with typed kOverloaded),
+// per-request protocol deadlines, control frames (including live
+// reload), idle-session reaping, drift telemetry and graceful drain.
+// Every fixture serves the golden corpus bundle through a BundleRegistry
+// — the same promotion path epp_serve uses — so version pinning and the
+// EPP-SEM gate are exercised on every scenario, without the simulator.
+#include "serve/server.hpp"
 
 #include <gtest/gtest.h>
 
@@ -11,74 +13,52 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "core/historical_predictor.hpp"
-#include "core/hybrid_predictor.hpp"
-#include "core/lqn_predictor.hpp"
+#include "calib/bundle.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
-#include "svc/batch_predictor.hpp"
+#include "serve/registry.hpp"
 #include "svc/resilient.hpp"
 
-namespace epp::svc {
+namespace epp::serve {
 namespace {
 
-core::TradeCalibration test_calibration() {
-  core::TradeCalibration cal;
-  cal.browse = {0.005376, 0.00083, 0.00040, 1.14};
-  cal.buy = {0.010455, 0.00161, 0.00050, 2.0};
-  return cal;
+using svc::ErrorCode;
+using svc::Method;
+
+/// The golden corpus artifact (verifier-clean by the lint suite's
+/// contract), parsed once and copied per fixture.
+const calib::CalibrationBundle& corpus_bundle() {
+  static const calib::CalibrationBundle bundle =
+      calib::load_bundle(std::string(EPP_LINT_CORPUS_DIR) +
+                         "/clean/trade.epp");
+  return bundle;
 }
 
-struct Predictors {
-  static constexpr double kGradient = 0.14;
-  core::LqnPredictor lqn{test_calibration()};
-  core::HybridPredictor hybrid{test_calibration()};
-  core::HistoricalPredictor historical{kGradient};
-
-  Predictors() {
-    for (const auto& arch :
-         {core::arch_s(), core::arch_f(), core::arch_vf()}) {
-      lqn.register_server(arch);
-      hybrid.register_server(arch);
-    }
-    for (const char* name : {"AppServF", "AppServVF"}) {
-      const double max_tput = lqn.predict_max_throughput_rps(name, 0.0);
-      const double n_star = max_tput / kGradient;
-      const std::vector<hydra::DataPoint> lower{
-          lqn.pseudo_point(name, 0.25 * n_star),
-          lqn.pseudo_point(name, 0.60 * n_star)};
-      const std::vector<hydra::DataPoint> upper{
-          lqn.pseudo_point(name, 1.25 * n_star),
-          lqn.pseudo_point(name, 1.70 * n_star)};
-      historical.calibrate_established(name, lower, upper, max_tput);
-    }
-    historical.register_new_server(
-        "AppServS", lqn.predict_max_throughput_rps("AppServS", 0.0));
-  }
-};
-
-Predictors& predictors() {
-  static Predictors p;
-  return p;
+RegistryOptions registry_options(const svc::ResilienceOptions& resilience) {
+  RegistryOptions options;
+  options.resilience = resilience;
+  return options;
 }
 
-/// A server over a fresh engine + resilient layer, bound to an ephemeral
-/// loopback port and started. Each fixture instance is fully isolated.
+/// A server over a fresh registry with the corpus bundle promoted as
+/// version 1, bound to an ephemeral loopback port and started. Each
+/// fixture instance is fully isolated.
 struct ServerFixture {
-  std::unique_ptr<BatchPredictor> engine;
-  std::unique_ptr<ResilientPredictor> predictor;
+  BundleRegistry registry;
   std::unique_ptr<PredictionServer> server;
 
   explicit ServerFixture(ServerOptions options = {},
-                         ResilienceOptions resilience = {}) {
-    Predictors& p = predictors();
-    engine = std::make_unique<BatchPredictor>(&p.historical, &p.lqn,
-                                              &p.hybrid, BatchOptions{});
-    predictor = std::make_unique<ResilientPredictor>(*engine, resilience);
-    server = std::make_unique<PredictionServer>(*predictor, options);
+                         svc::ResilienceOptions resilience = {})
+      : registry(registry_options(resilience)) {
+    const PromotionResult seeded =
+        registry.promote(corpus_bundle(), "corpus/trade.epp");
+    if (!seeded.accepted)
+      throw std::runtime_error("fixture bundle rejected: " + seeded.message);
+    server = std::make_unique<PredictionServer>(registry, options);
     server->start();
   }
 
@@ -132,6 +112,8 @@ TEST(PredictionServer, ServesAllMethodsOverLoopback) {
       EXPECT_GT(response->mean_rt_s, 0.0);
       EXPECT_GT(response->throughput_rps, 0.0);
       EXPECT_GE(response->predictor_latency_s, 0.0);
+      // Every response names the version that answered it.
+      EXPECT_EQ(response->bundle_version, 1u);
     }
   }
 }
@@ -140,7 +122,9 @@ TEST(PredictionServer, PipelinedRequestsAllAnsweredById) {
   // Fire a burst without reading, then match responses by id: with
   // several workers interleaving on one connection, order is not
   // guaranteed but identity and completeness are.
-  ServerFixture fixture(ServerOptions{.workers = 4});
+  ServerOptions options;
+  options.workers = 4;
+  ServerFixture fixture(options);
   net::Socket client = fixture.connect();
   constexpr std::uint64_t kRequests = 32;
   for (std::uint64_t id = 1; id <= kRequests; ++id)
@@ -205,7 +189,7 @@ TEST(PredictionServer, ExpiredProtocolDeadlineGetsDeadlineExceeded) {
   // A deadline too small to evaluate anything maps through
   // predict_with_deadline onto the svc cancellation machinery; disable
   // fallback + stale so the typed deadline error surfaces directly.
-  ResilienceOptions resilience;
+  svc::ResilienceOptions resilience;
   resilience.fallback_enabled = false;
   resilience.serve_stale = false;
   ServerFixture fixture(ServerOptions{}, resilience);
@@ -293,6 +277,25 @@ TEST(PredictionServer, ConnectionsBeyondTheCapAreClosed) {
   EXPECT_GE(fixture.server->stats().connections_rejected, 1u);
 }
 
+TEST(PredictionServer, IdleSessionsAreReapedByTheTimeout) {
+  // A client that connects and never speaks must not pin a reader
+  // thread forever: with the idle timeout armed its session reaches
+  // EOF and the close is typed (idle_closes), not a bad_frames error.
+  ServerOptions options;
+  options.idle_timeout_s = 0.05;
+  ServerFixture fixture(options);
+  net::Socket silent = fixture.connect();
+  EXPECT_FALSE(receive(silent).has_value()) << "server kept an idle session";
+  // The reaped session must not poison serving for others.
+  net::Socket active = fixture.connect();
+  send(active, predict_request(1, Method::kLqn, "AppServF", 300.0));
+  const auto response = receive(active);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok()) << response->detail;
+  EXPECT_GE(fixture.server->stats().idle_closes, 1u);
+  EXPECT_EQ(fixture.server->stats().bad_frames, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Control frames.
 // ---------------------------------------------------------------------------
@@ -323,6 +326,131 @@ TEST(PredictionServer, PingAndStatsAnswerInline) {
       << reply->detail;
   EXPECT_NE(reply->detail.find("stale_evictions="), std::string::npos)
       << reply->detail;
+  // The serving-tier keys added with the registry/drift layer.
+  EXPECT_NE(reply->detail.find("bundle_version=1"), std::string::npos)
+      << reply->detail;
+  EXPECT_NE(reply->detail.find("health="), std::string::npos) << reply->detail;
+  EXPECT_NE(reply->detail.find("idle_closes="), std::string::npos)
+      << reply->detail;
+}
+
+TEST(PredictionServer, ReloadFrameWithoutHandlerGetsTypedError) {
+  ServerFixture fixture;  // no reload_handler configured
+  net::Socket client = fixture.connect();
+  net::RequestMessage reload;
+  reload.kind = net::MessageKind::kReload;
+  reload.id = 5;
+  send(client, reload);
+  const auto response = receive(client);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->ok());
+  EXPECT_EQ(response->error_code,
+            static_cast<std::uint8_t>(ErrorCode::kInternal));
+  EXPECT_EQ(fixture.server->stats().reloads_failed, 1u);
+}
+
+TEST(PredictionServer, ReloadFramePromotesAndReportsTheNewVersion) {
+  // The handler promotes whatever "path" names — here the corpus bundle
+  // again, so the swap is real (version 2) without touching disk.
+  ServerOptions options;
+  ServerFixture fixture;
+  fixture.server->stop();
+  BundleRegistry& registry = fixture.registry;
+  options.reload_handler = [&registry](const std::string& path) {
+    const PromotionResult result = registry.promote(corpus_bundle(), path);
+    return ReloadStatus{result.accepted, result.message};
+  };
+  PredictionServer server(registry, options);
+  server.start();
+  net::Socket client = net::Socket::connect("127.0.0.1", server.port());
+
+  net::RequestMessage reload;
+  reload.kind = net::MessageKind::kReload;
+  reload.id = 11;
+  reload.server = "refit/trade.epp";  // candidate path rides the server field
+  ASSERT_TRUE(net::write_frame(client, net::encode_request(reload)));
+  const auto ack = receive(client);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->ok()) << ack->detail;
+  EXPECT_NE(ack->detail.find("version 2"), std::string::npos) << ack->detail;
+  EXPECT_EQ(registry.active_version(), 2u);
+  EXPECT_EQ(server.stats().reloads_ok, 1u);
+
+  // Requests after the swap are answered by the new version.
+  net::RequestMessage request =
+      predict_request(12, Method::kLqn, "AppServF", 320.0);
+  ASSERT_TRUE(net::write_frame(client, net::encode_request(request)));
+  const auto response = receive(client);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(response->ok()) << response->detail;
+  EXPECT_EQ(response->bundle_version, 2u);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Drift telemetry.
+// ---------------------------------------------------------------------------
+
+TEST(PredictionServer, ObserveFramesDriveHealthThroughWarmupToDrift) {
+  // Close the loop end to end: learn the active bundle's prediction for
+  // one workload, report agreeing measurements through warmup, then step
+  // the "measured" RT to 2x. The Page–Hinkley detector must alarm within
+  // a few drifted observations (lambda / (1 - delta) plus mean drag; see
+  // serve_drift_test for the pinned bound) and every response's health
+  // byte must track warming -> healthy -> drifting.
+  ServerOptions options;
+  options.workers = 1;  // serialize observes so detector order is exact
+  options.drift.min_samples = 8;
+  ServerFixture fixture(options);
+  net::Socket client = fixture.connect();
+
+  send(client, predict_request(1, Method::kLqn, "AppServF", 500.0));
+  const auto predicted = receive(client);
+  ASSERT_TRUE(predicted.has_value() && predicted->ok());
+  ASSERT_GT(predicted->mean_rt_s, 0.0);
+  EXPECT_EQ(predicted->health,
+            static_cast<std::uint8_t>(HealthState::kWarming));
+
+  net::RequestMessage observe =
+      predict_request(0, Method::kLqn, "AppServF", 500.0);
+  observe.kind = net::MessageKind::kObserve;
+
+  // Warmup: measurements agree with the model (zero relative error).
+  std::uint64_t id = 100;
+  for (std::size_t i = 0; i < 8; ++i) {
+    observe.id = ++id;
+    observe.observed_rt_s = predicted->mean_rt_s;
+    send(client, observe);
+    const auto ack = receive(client);
+    ASSERT_TRUE(ack.has_value() && ack->ok()) << ack->detail;
+  }
+  EXPECT_EQ(fixture.server->drift().state, HealthState::kHealthy);
+
+  // Step change: the world got 2x slower than the model. The alarm must
+  // latch within a bounded number of further observations.
+  bool drifted = false;
+  for (std::size_t i = 0; i < 16 && !drifted; ++i) {
+    observe.id = ++id;
+    observe.observed_rt_s = 2.0 * predicted->mean_rt_s;
+    send(client, observe);
+    const auto ack = receive(client);
+    ASSERT_TRUE(ack.has_value() && ack->ok()) << ack->detail;
+    drifted = ack->health == static_cast<std::uint8_t>(HealthState::kDrifting);
+  }
+  EXPECT_TRUE(drifted) << "2x drift never tripped the detector";
+  const DriftSnapshot snapshot = fixture.server->drift();
+  EXPECT_EQ(snapshot.state, HealthState::kDrifting);
+  EXPECT_GE(snapshot.trips, 1u);
+
+  // A version swap resets the detector: health returns to warming.
+  ASSERT_TRUE(fixture.registry.promote(corpus_bundle(), "refit").accepted);
+  observe.id = ++id;
+  observe.observed_rt_s = predicted->mean_rt_s;
+  send(client, observe);
+  const auto fresh = receive(client);
+  ASSERT_TRUE(fresh.has_value() && fresh->ok()) << fresh->detail;
+  EXPECT_EQ(fresh->health, static_cast<std::uint8_t>(HealthState::kWarming));
+  EXPECT_EQ(fresh->bundle_version, 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -392,4 +520,4 @@ TEST(PredictionServer, DoubleStartThrows) {
 }
 
 }  // namespace
-}  // namespace epp::svc
+}  // namespace epp::serve

@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -472,6 +475,79 @@ TEST(ResilientPredictor, ConcurrentBreakerTransitionsStaySane) {
   EXPECT_EQ(resilient.breaker_state(Method::kHistorical, "AppServVF"),
             BreakerState::kClosed);
   EXPECT_EQ(resilient.stats().requests, storm.size());
+}
+
+TEST(ResilientPredictor, HalfOpenAdmitsOneProbeAndFastFailsTheRest) {
+  // The half-open contract under *concurrent* callers: after the
+  // cooldown exactly one request becomes the probe (and pays the full
+  // retry-loop price against the still-broken engine) while every
+  // simultaneous caller is rejected at the breaker in microseconds with
+  // a typed kCircuitOpen — never queued behind the probe, never admitted
+  // as a second probe. The probe is kept measurably busy (~200 ms of
+  // jittered retry backoff at fail=1.0) so the race window is real.
+  FaultInjector injector(failing(Method::kHistorical, 1.0));
+  BatchOptions batch_options;
+  batch_options.fault = &injector;
+  const auto engine = make_engine(batch_options);
+  ResilienceOptions options;
+  options.max_retries = 100;
+  options.backoff_base_s = 0.002;
+  options.backoff_cap_s = 0.002;
+  options.serve_stale = false;
+  options.fallback_enabled = false;
+  options.breaker_failure_threshold = 1;
+  // Long enough that a loser delayed past the probe's completion still
+  // lands inside the re-opened circuit's cooldown (no accidental second
+  // probe), short enough to keep the test fast.
+  options.breaker_cooldown_s = 0.15;
+  const ResilientPredictor resilient(*engine, options);
+  const PredictionRequest request{Method::kHistorical, "AppServF",
+                                  browse_load(250.0)};
+
+  // Open the circuit, then dwell past the cooldown so the next wave
+  // races for the single probe slot.
+  ASSERT_FALSE(resilient.predict(request).ok());
+  ASSERT_EQ(resilient.breaker_state(Method::kHistorical, "AppServF"),
+            BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  constexpr int kCallers = 8;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<ErrorCode> verdicts(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i)
+    callers.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      const Outcome outcome = resilient.predict(request);
+      ASSERT_FALSE(outcome.ok()) << i;
+      verdicts[i] = outcome.error().code;
+    });
+  while (ready.load() < kCallers) {
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& caller : callers) caller.join();
+
+  int probes = 0, rejected = 0;
+  for (const ErrorCode code : verdicts) {
+    if (code == ErrorCode::kTransientFailure) {
+      ++probes;
+    } else {
+      EXPECT_EQ(code, ErrorCode::kCircuitOpen) << error_code_name(code);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(probes, 1) << "the half-open slot admitted " << probes
+                       << " probes";
+  EXPECT_EQ(rejected, kCallers - 1);
+  EXPECT_GE(resilient.stats().breaker_rejections,
+            static_cast<std::uint64_t>(kCallers - 1));
+  // The failed probe re-opened the circuit.
+  EXPECT_EQ(resilient.breaker_state(Method::kHistorical, "AppServF"),
+            BreakerState::kOpen);
 }
 
 // ---------------------------------------------------------------------------

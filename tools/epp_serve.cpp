@@ -1,13 +1,22 @@
 // epp_serve — the long-running prediction daemon.
 //
-// Wraps the calibrated BatchPredictor/ResilientPredictor stack behind
-// the length-prefixed binary protocol (src/net/frame.hpp) on a TCP
-// socket and serves until a signal or a client's shutdown frame. This is
-// the paper's capacity-planning engine as an actual service: a resource
-// manager (or epp_loadgen) connects, streams prediction requests at
-// production rates, and gets typed outcomes back — fallback/stale
-// flagged, overload shed with `overloaded` instead of queueing without
-// bound, per-request deadlines riding the svc cancellation machinery.
+// Wraps the calibrated predictor stack behind the length-prefixed binary
+// protocol (src/net/frame.hpp) on a TCP socket and serves until a signal
+// or a client's shutdown frame. This is the paper's capacity-planning
+// engine as an actual service: a resource manager (or epp_loadgen)
+// connects, streams prediction requests at production rates, and gets
+// typed outcomes back — fallback/stale flagged, overload shed with
+// `overloaded` instead of queueing without bound, per-request deadlines
+// riding the svc cancellation machinery.
+//
+// Serving goes through a BundleRegistry (src/serve/registry.hpp): the
+// startup bundle is promoted as version 1, and a SIGHUP or a kReload
+// frame re-reads the --bundle file (or the path carried in the frame)
+// and promotes it *live* — gated through the EPP-SEM verifier, with the
+// incumbent version kept serving on gate failure, and in-flight
+// requests pinned to the version they were admitted under. kObserve
+// frames feed the drift detector; the stats frame and every response's
+// health byte report warming/healthy/drifting.
 //
 // The bundle is acquired exactly like epp_sweep: cold-calibrated from
 // the simulated testbed, or warm-loaded in milliseconds with --bundle.
@@ -19,7 +28,13 @@
 //   epp_serve [--port P] [--host H] [--workers N] [--queue-depth N]
 //             [--max-connections N] [--deadline-ms MS] [--max-retries N]
 //             [--stale-capacity N] [--fault-spec SPEC]
+//             [--idle-timeout-ms MS] [--drift-delta D] [--drift-lambda L]
+//             [--drift-min-samples N]
 //             [--bundle FILE] [--save-bundle FILE] [--threads N]
+//
+// A `net:` clause in --fault-spec arms the wire chaos policy (resets,
+// truncated frames, slow-loris writes, accept delays) — the fault storm
+// the chaos smoke job drives with epp_loadgen retries.
 //
 // Prints exactly one "listening on HOST:PORT" line to stdout once ready
 // (scripts and CI scrape it), then stats lines to stderr on shutdown.
@@ -27,20 +42,23 @@
 #include <chrono>
 #include <csignal>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
 
 #include "calib/bundle.hpp"
-#include "calib/predictor_set.hpp"
 #include "calib/seeds.hpp"
 #include "lint/lint.hpp"
 #include "lint/verify.hpp"
+#include "net/chaos.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
 #include "svc/fault.hpp"
 #include "svc/resilient.hpp"
-#include "svc/server.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -51,11 +69,13 @@ using namespace epp;
 namespace cli = util::cli;
 
 std::atomic<bool> g_signalled{false};
+std::atomic<bool> g_reload{false};
 
 void on_signal(int) { g_signalled.store(true, std::memory_order_release); }
+void on_reload(int) { g_reload.store(true, std::memory_order_release); }
 
 struct ServeConfig {
-  svc::ServerOptions server;
+  serve::ServerOptions server;
   double deadline_ms = 0.0;
   std::optional<int> max_retries;
   std::size_t stale_capacity = 4096;
@@ -69,6 +89,8 @@ int usage(std::ostream& out) {
          "                 [--queue-depth N] [--max-connections N]\n"
          "                 [--deadline-ms MS] [--max-retries N]\n"
          "                 [--stale-capacity N] [--fault-spec SPEC]\n"
+         "                 [--idle-timeout-ms MS] [--drift-delta D]\n"
+         "                 [--drift-lambda L] [--drift-min-samples N]\n"
          "                 [--bundle FILE] [--save-bundle FILE] [--threads N]\n\n"
          "Serves predictions over the length-prefixed binary protocol\n"
          "(see src/net/frame.hpp). --port 0 (default) picks an ephemeral\n"
@@ -76,8 +98,11 @@ int usage(std::ostream& out) {
          "with --bundle to skip calibration; --threads sizes the one-time\n"
          "calibration pool, --workers the serving worker pool. A full\n"
          "dispatch queue sheds requests with the typed 'overloaded' error.\n"
-         "Stop with SIGINT/SIGTERM or a client shutdown frame; in-flight\n"
-         "requests drain before exit. Drive it with epp_loadgen.\n";
+         "SIGHUP (or a reload frame) re-reads the --bundle file and\n"
+         "hot-swaps it through the EPP-SEM gate; a 'net:' clause in\n"
+         "--fault-spec arms wire chaos. Stop with SIGINT/SIGTERM or a\n"
+         "client shutdown frame; in-flight requests drain before exit.\n"
+         "Drive it with epp_loadgen.\n";
   return 1;
 }
 
@@ -103,6 +128,15 @@ ServeConfig parse_args(int argc, char** argv) {
       config.server.max_connections = cli::parse_size(arg, value(), 1);
     } else if (arg == "--deadline-ms") {
       config.deadline_ms = cli::parse_positive_double(arg, value());
+    } else if (arg == "--idle-timeout-ms") {
+      config.server.idle_timeout_s =
+          cli::parse_positive_double(arg, value()) / 1e3;
+    } else if (arg == "--drift-delta") {
+      config.server.drift.delta = cli::parse_double_at_least(arg, value(), 0.0);
+    } else if (arg == "--drift-lambda") {
+      config.server.drift.lambda = cli::parse_positive_double(arg, value());
+    } else if (arg == "--drift-min-samples") {
+      config.server.drift.min_samples = cli::parse_size(arg, value(), 1);
     } else if (arg == "--max-retries") {
       config.max_retries =
           static_cast<int>(cli::parse_int(arg, value(), 0, 1000));
@@ -123,6 +157,40 @@ ServeConfig parse_args(int argc, char** argv) {
   return config;
 }
 
+/// Load + parse the bundle file at `path` and promote it through the
+/// registry's EPP-SEM gate. Shared by SIGHUP and the kReload frame.
+serve::ReloadStatus reload_bundle(serve::BundleRegistry& registry,
+                                  const std::string& path) {
+  serve::ReloadStatus status;
+  if (path.empty()) {
+    status.message = "reload: no bundle path (cold-calibrated start and the "
+                     "frame named none)";
+    return status;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    status.message = "reload: cannot read '" + path + "'";
+    return status;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  lint::Diagnostics structural;
+  calib::BundleParseInfo info;
+  calib::CalibrationBundle candidate =
+      calib::parse_bundle_text(text.str(), path, structural, &info);
+  if (structural.has_errors()) {
+    status.message =
+        "reload: '" + path + "' failed structural lint: " +
+        structural.first_at_least(lint::Severity::kError)->message;
+    return status;
+  }
+  const serve::PromotionResult result =
+      registry.promote(std::move(candidate), path, &info);
+  status.ok = result.accepted;
+  status.message = result.message;
+  return status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -132,8 +200,10 @@ int main(int argc, char** argv) try {
   lint::Diagnostics findings;
   if (!config.artifact.load_path.empty())
     lint::lint_artifact_file(config.artifact.load_path, findings);
+  svc::FaultConfig fault_config;
   if (!config.fault_spec.empty())
-    svc::lint_fault_spec(config.fault_spec, {"<fault-spec>", 0}, findings);
+    fault_config =
+        svc::lint_fault_spec(config.fault_spec, {"<fault-spec>", 0}, findings);
   findings.sort_by_location();
   if (!findings.empty()) std::cerr << lint::render_text(findings);
   if (findings.has_errors()) {
@@ -148,79 +218,116 @@ int main(int argc, char** argv) try {
   if (config.artifact.load_path.empty())
     std::cerr << "calibrating from the simulated testbed...\n";
   const util::Timer calibration_timer;
-  const calib::CalibrationBundle bundle =
+  calib::CalibrationBundle bundle =
       calib::acquire_bundle(config.artifact, calibration_options);
   std::cerr << (config.artifact.load_path.empty()
                     ? "calibrated in "
                     : "warm start: loaded bundle in ")
             << calibration_timer.elapsed_ms() << " ms\n";
 
+  // --- serving stack: fault injector, registry, chaos, server -----------
+  std::optional<svc::FaultInjector> injector;
+  serve::RegistryOptions registry_options;
+  if (fault_config.any()) {
+    injector.emplace(fault_config, calib::kFaultInjectionSeed);
+    registry_options.batch.fault = &*injector;
+  }
+  registry_options.resilience.deadline_s = config.deadline_ms / 1e3;
+  if (config.max_retries)
+    registry_options.resilience.max_retries = *config.max_retries;
+  registry_options.resilience.stale_capacity = config.stale_capacity;
+  registry_options.resilience.jitter_seed = calib::kRetryJitterSeed;
+
+  serve::BundleRegistry registry(registry_options);
   {
-    lint::VerifyOptions verify_options;
-    verify_options.check_chains = true;
-    if (config.deadline_ms > 0.0)
-      verify_options.resilience.deadline_s = config.deadline_ms / 1e3;
-    lint::Diagnostics semantic;
-    lint::verify_bundle(bundle,
-                        config.artifact.load_path.empty()
-                            ? "<calibrated>"
-                            : config.artifact.load_path,
-                        nullptr, verify_options, semantic);
-    semantic.sort_by_location();
-    if (!semantic.empty()) std::cerr << lint::render_text(semantic);
-    if (semantic.has_errors()) {
-      std::cerr << "epp_serve: refusing to serve from a bundle with "
-                << semantic.count(lint::Severity::kError)
-                << " semantic error(s)\n";
+    const serve::PromotionResult startup = registry.promote(
+        std::move(bundle),
+        config.artifact.load_path.empty() ? "<calibrated>"
+                                          : config.artifact.load_path);
+    if (!startup.accepted) {
+      if (!startup.findings.empty())
+        std::cerr << lint::render_text(startup.findings);
+      std::cerr << "epp_serve: " << startup.message << "\n";
       return 2;
     }
+    std::cerr << "epp_serve: " << startup.message << "\n";
   }
 
-  // --- predictor stack ---------------------------------------------------
-  std::optional<svc::FaultInjector> injector;
-  svc::BatchOptions batch_options;
-  if (!config.fault_spec.empty()) {
-    injector.emplace(svc::parse_fault_spec(config.fault_spec),
-                     calib::kFaultInjectionSeed);
-    batch_options.fault = &*injector;
+  std::optional<net::ChaosPolicy> chaos;
+  if (fault_config.net.any()) {
+    chaos.emplace(fault_config.net, calib::kFaultInjectionSeed);
+    std::cerr << "epp_serve: wire chaos armed (reset "
+              << fault_config.net.reset_p << ", truncate "
+              << fault_config.net.truncate_p << ", accept-reset "
+              << fault_config.net.accept_reset_p << ")\n";
   }
-  const calib::PredictorSet set = calib::make_predictors(bundle, batch_options);
 
-  svc::ResilienceOptions resilience;
-  resilience.deadline_s = config.deadline_ms / 1e3;
-  if (config.max_retries) resilience.max_retries = *config.max_retries;
-  resilience.stale_capacity = config.stale_capacity;
-  resilience.jitter_seed = calib::kRetryJitterSeed;
-  const svc::ResilientPredictor predictor(*set.batch, resilience);
+  serve::ServerOptions server_options = config.server;
+  server_options.chaos = chaos ? &*chaos : nullptr;
+  const std::string default_reload_path = config.artifact.load_path;
+  server_options.reload_handler =
+      [&registry, default_reload_path](const std::string& path) {
+        return reload_bundle(registry,
+                             path.empty() ? default_reload_path : path);
+      };
 
-  svc::PredictionServer server(predictor, config.server);
+  serve::PredictionServer server(registry, server_options);
   server.start();
   std::cout << "listening on " << config.server.host << ":" << server.port()
             << std::endl;  // flushed: readiness line for scripts/CI
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
-  while (!g_signalled.load(std::memory_order_acquire) && !server.stopping())
+  std::signal(SIGHUP, on_reload);
+  while (!g_signalled.load(std::memory_order_acquire) && !server.stopping()) {
+    if (g_reload.exchange(false, std::memory_order_acq_rel)) {
+      const serve::ReloadStatus status =
+          reload_bundle(registry, default_reload_path);
+      std::cerr << "epp_serve: SIGHUP " << (status.ok ? "reload: " : "reload "
+                                                        "failed: ")
+                << status.message << "\n";
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
   std::cerr << "epp_serve: draining...\n";
   server.stop();
 
-  const svc::ServerStats server_stats = server.stats();
-  const svc::ResilienceStats resilience_stats = predictor.stats();
+  const serve::ServerStats server_stats = server.stats();
+  const serve::RegistryStats registry_stats = registry.stats();
+  const serve::DriftSnapshot drift = server.drift();
   std::cerr << "served " << server_stats.requests_served << " of "
             << server_stats.requests_enqueued << " admitted ("
             << server_stats.requests_shed << " shed, "
-            << server_stats.bad_frames << " bad frames, peak queue "
+            << server_stats.bad_frames << " bad frames, "
+            << server_stats.idle_closes << " idle closes, peak queue "
             << server_stats.queue_peak << ") over "
             << server_stats.connections_accepted << " connection(s)\n";
-  std::cerr << "resilience: " << resilience_stats.served << " served / "
-            << resilience_stats.errors << " errors; "
-            << resilience_stats.retries << " retries, "
-            << resilience_stats.fallbacks << " fallbacks, "
-            << resilience_stats.stale_serves << " stale ("
-            << resilience_stats.stale_evictions << " evicted), "
-            << resilience_stats.deadline_hits << " deadline, "
-            << resilience_stats.breaker_opens << " breaker opens\n";
+  std::cerr << "registry: version " << registry_stats.active_version << " ("
+            << registry_stats.promotions << " promotions, "
+            << registry_stats.rejections << " rejections, "
+            << registry_stats.rollbacks << " rollbacks); drift "
+            << serve::health_state_name(drift.state) << " ("
+            << drift.observations << " observations, " << drift.trips
+            << " trips)\n";
+  if (const auto active = registry.active(); active != nullptr) {
+    const svc::ResilienceStats resilience_stats = active->resilient->stats();
+    std::cerr << "resilience: " << resilience_stats.served << " served / "
+              << resilience_stats.errors << " errors; "
+              << resilience_stats.retries << " retries, "
+              << resilience_stats.fallbacks << " fallbacks, "
+              << resilience_stats.stale_serves << " stale ("
+              << resilience_stats.stale_evictions << " evicted), "
+              << resilience_stats.deadline_hits << " deadline, "
+              << resilience_stats.breaker_opens << " breaker opens\n";
+  }
+  if (chaos) {
+    const net::ChaosStats chaos_stats = chaos->stats();
+    std::cerr << "chaos: " << chaos_stats.accept_resets << " accept resets, "
+              << chaos_stats.accept_delays << " accept delays, "
+              << chaos_stats.write_resets << " write resets, "
+              << chaos_stats.write_truncates << " truncated frames, "
+              << chaos_stats.dribbled_writes << " dribbled writes\n";
+  }
   return 0;
 } catch (const std::exception& error) {
   std::cerr << "epp_serve: " << error.what() << "\n\n";
