@@ -14,12 +14,13 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "core/lqn_predictor.hpp"
 #include "core/predictor.hpp"
 #include "hydra/model.hpp"
+#include "util/annotations.hpp"
+#include "util/lock_rank.hpp"
 
 namespace epp::core {
 
@@ -72,7 +73,7 @@ class HybridPredictor final : public Predictor {
   // Guarded by mutex_: predictions are issued concurrently from sweep
   // thread pools (e.g. the resource-manager tuning figures). std::map
   // node stability keeps returned references valid after unlocking.
-  mutable std::mutex mutex_;
+  mutable util::RankedMutex mutex_{EPP_LOCK_RANK(75), "core.hybrid.memo"};
   mutable std::map<std::string, hydra::Relationship1> fits_;
   mutable std::map<std::string, double> startup_delay_;
 };

@@ -1,0 +1,22 @@
+// Internal seam between the epp_srclint driver and its rule libraries.
+// Each entry point consumes the whole model set, because resolution is
+// cross-file: a guard in server.cpp locks a mutex declared in
+// server.hpp, and lock-order cycles can span translation units.
+#pragma once
+
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "lint/src/source_model.hpp"
+
+namespace epp::lint::srcrules {
+
+/// EPP-CONC-001..008 over the merged lock model.
+void check_concurrency(const std::vector<srcmodel::FileModel>& files,
+                       Diagnostics& out);
+
+/// EPP-HOT-001..005 over each file's hot regions.
+void check_hot_regions(const std::vector<srcmodel::FileModel>& files,
+                       Diagnostics& out);
+
+}  // namespace epp::lint::srcrules

@@ -1,0 +1,300 @@
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/src/rules.hpp"
+
+namespace epp::lint::srcrules {
+namespace {
+
+using srcmodel::FileModel;
+using srcmodel::MutexDecl;
+
+std::string stem_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return path;
+  return path.substr(0, dot);
+}
+
+/// Cross-file mutex-name resolution: guard expressions are bare member
+/// names after normalization, so a name is resolved same-file first,
+/// then to the file's header/source twin (same path stem), then
+/// globally when the name is unique across the whole model. Anything
+/// else stays unresolved and is skipped — EPP-CONC-008 on declarations
+/// keeps coverage honest regardless.
+class Resolver {
+ public:
+  explicit Resolver(const std::vector<FileModel>& files) {
+    for (const FileModel& file : files) {
+      for (const MutexDecl& decl : file.decls) {
+        const int id = static_cast<int>(decls_.size());
+        decls_.push_back(&decl);
+        by_name_[decl.name].push_back(id);
+      }
+    }
+  }
+
+  int resolve(const std::string& file, const std::string& name) const {
+    const auto it = by_name_.find(name);
+    if (it == by_name_.end()) return -1;
+    const std::vector<int>& candidates = it->second;
+    for (const int id : candidates)
+      if (decls_[static_cast<std::size_t>(id)]->file == file) return id;
+    const std::string stem = stem_of(file);
+    for (const int id : candidates)
+      if (stem_of(decls_[static_cast<std::size_t>(id)]->file) == stem)
+        return id;
+    if (candidates.size() == 1) return candidates.front();
+    return -1;
+  }
+
+  const MutexDecl& decl(int id) const {
+    return *decls_[static_cast<std::size_t>(id)];
+  }
+  std::size_t size() const { return decls_.size(); }
+
+ private:
+  std::vector<const MutexDecl*> decls_;
+  std::map<std::string, std::vector<int>> by_name_;
+};
+
+std::string display_name(const MutexDecl& decl) {
+  if (!decl.label.empty()) return decl.label;
+  return decl.name;
+}
+
+struct Edge {
+  std::string file;
+  int line = 0;
+  bool reported = false;
+};
+
+void check_lock_order(const std::vector<FileModel>& files,
+                      const Resolver& resolver, Diagnostics& out) {
+  // held-decl -> acquired-decl, first occurrence wins for reporting.
+  std::map<std::pair<int, int>, Edge> edges;
+
+  for (const FileModel& file : files) {
+    for (const srcmodel::Acquisition& acquisition : file.acquisitions) {
+      const int acquired = resolver.resolve(file.path, acquisition.mutex_name);
+      if (acquired < 0) continue;
+      const MutexDecl& acquired_decl = resolver.decl(acquired);
+      for (const std::string& held_name : acquisition.held) {
+        const int held = resolver.resolve(file.path, held_name);
+        if (held < 0) continue;
+        const MutexDecl& held_decl = resolver.decl(held);
+        if (held == acquired) {
+          out.error("EPP-CONC-002",
+                    {file.path, acquisition.line},
+                    "mutex '" + display_name(acquired_decl) +
+                        "' is locked again in a scope that already holds "
+                        "it — non-recursive mutexes self-deadlock here",
+                    "drop the inner acquisition, or split the outer scope");
+          continue;
+        }
+        auto [it, inserted] = edges.try_emplace(
+            std::make_pair(held, acquired),
+            Edge{file.path, acquisition.line, false});
+        Edge& edge = it->second;
+        if (held_decl.rank >= 0 && acquired_decl.rank >= 0 &&
+            held_decl.rank >= acquired_decl.rank) {
+          if (!edge.reported) {
+            edge.reported = true;
+            out.error(
+                "EPP-CONC-001",
+                {file.path, acquisition.line},
+                "acquiring '" + display_name(acquired_decl) + "' (rank " +
+                    std::to_string(acquired_decl.rank) +
+                    ") while holding '" + display_name(held_decl) +
+                    "' (rank " + std::to_string(held_decl.rank) +
+                    "); lock ranks must strictly increase along every "
+                    "acquisition chain",
+                "acquire in ascending rank order, or re-rank the mutexes "
+                "in the lock table");
+          }
+        }
+        (void)inserted;
+      }
+    }
+  }
+
+  // Cycle pass: rank checking is complete when every mutex is ranked;
+  // cycles among unranked mutexes still deadlock, so hunt them in the
+  // acquired-while-holding graph. A cycle is reported once, at its
+  // first edge, unless a rank violation already flagged part of it.
+  std::map<int, std::vector<int>> adjacency;
+  for (const auto& [key, edge] : edges) adjacency[key.first].push_back(key.second);
+  std::set<std::vector<int>> reported_cycles;
+  for (const auto& [key, edge] : edges) {
+    const auto [from, to] = key;
+    // Find a path to -> ... -> from; together with (from, to) it closes
+    // a cycle through this edge.
+    std::map<int, int> parent;
+    std::deque<int> queue{to};
+    parent[to] = to;
+    while (!queue.empty()) {
+      const int node = queue.front();
+      queue.pop_front();
+      if (node == from) break;
+      const auto next = adjacency.find(node);
+      if (next == adjacency.end()) continue;
+      for (const int successor : next->second) {
+        if (parent.count(successor) > 0) continue;
+        parent[successor] = node;
+        queue.push_back(successor);
+      }
+    }
+    if (parent.count(from) == 0) continue;  // edge closes no cycle
+    std::vector<int> cycle{from};
+    for (int node = from; node != to; node = parent[node])
+      cycle.push_back(parent[node]);
+    std::reverse(cycle.begin() + 1, cycle.end());
+    // Canonical form for dedup: the same cycle discovered from any of
+    // its edges has the same node set.
+    std::vector<int> canonical = cycle;
+    std::sort(canonical.begin(), canonical.end());
+    if (!reported_cycles.insert(canonical).second) continue;
+    bool already_flagged = false;
+    std::string chain;
+    for (std::size_t i = 0; i <= cycle.size(); ++i) {
+      const int node = cycle[i % cycle.size()];
+      if (!chain.empty()) chain += " -> ";
+      chain += display_name(resolver.decl(node));
+      if (i < cycle.size()) {
+        const auto cycle_edge =
+            edges.find({node, cycle[(i + 1) % cycle.size()]});
+        if (cycle_edge != edges.end() && cycle_edge->second.reported)
+          already_flagged = true;
+      }
+    }
+    if (already_flagged) continue;  // the rank rule said it better
+    out.error("EPP-CONC-001",
+              {edge.file, edge.line},
+              "lock-order cycle: " + chain +
+                  " (each acquired while holding the previous) — two "
+                  "threads taking opposite ends deadlock",
+              "pick one global order for these mutexes and declare it "
+              "with EPP_LOCK_RANK");
+  }
+}
+
+void check_guarded_fields(const std::vector<FileModel>& files,
+                          const Resolver& resolver, Diagnostics& out) {
+  for (const FileModel& file : files) {
+    for (const srcmodel::GuardedField& field : file.guarded) {
+      const int mutex = resolver.resolve(field.file, field.mutex_name);
+      if (mutex < 0) continue;
+      const std::regex use(R"(\b)" + field.name + R"(\b)");
+      const std::string stem = stem_of(field.file);
+      for (const FileModel& candidate : files) {
+        if (stem_of(candidate.path) != stem) continue;
+        for (int line = 1; line <= candidate.line_count; ++line) {
+          if (candidate.path == field.file && line == field.line) continue;
+          const std::string& tokens =
+              candidate.tokens[static_cast<std::size_t>(line - 1)];
+          if (!std::regex_search(tokens, use)) continue;
+          bool held = false;
+          for (const std::string& held_name :
+               candidate.held_by_line[static_cast<std::size_t>(line - 1)]) {
+            if (resolver.resolve(candidate.path, held_name) == mutex) {
+              held = true;
+              break;
+            }
+          }
+          if (held) continue;
+          out.warning(
+              "EPP-CONC-005",
+              {candidate.path, line},
+              "field '" + field.name + "' is declared EPP_GUARDED_BY(" +
+                  field.mutex_name + ") but accessed here without the lock",
+              "take the lock around this access, or suppress with the "
+              "reason the access is safe");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void check_concurrency(const std::vector<FileModel>& files,
+                       Diagnostics& out) {
+  const Resolver resolver(files);
+
+  for (const FileModel& file : files) {
+    for (const MutexDecl& decl : file.decls) {
+      if (decl.std_type) {
+        out.warning(
+            "EPP-CONC-008",
+            {file.path, decl.line},
+            "mutex '" + decl.name +
+                "' is outside the lock-rank order (plain std type)",
+            "declare it as a util::RankedMutex with EPP_LOCK_RANK(n) and a "
+            "\"component.name\" label so both checkers see its order");
+      } else if (decl.ranked_type && decl.rank < 0) {
+        out.warning(
+            "EPP-CONC-008",
+            {file.path, decl.line},
+            "RankedMutex '" + decl.name +
+                "' has no EPP_LOCK_RANK in its initializer",
+            "spell the rank with the macro — the static analyzer reads "
+            "the macro, not the integer");
+      }
+    }
+
+    for (const srcmodel::BlockingCall& call : file.blocking) {
+      out.warning("EPP-CONC-003",
+                  {file.path, call.line},
+                  "blocking call '" + call.token +
+                      "' while holding a lock — every waiter on that "
+                      "lock stalls for the full blocking duration",
+                  "move the call outside the critical section, or "
+                  "suppress with the reason the block is intended");
+    }
+
+    for (const srcmodel::WaitCall& wait : file.waits) {
+      const int required = wait.token == "wait" ? 2 : 3;
+      if (wait.args < 0 || wait.args >= required) continue;
+      out.warning("EPP-CONC-004",
+                  {file.path, wait.line},
+                  "condition-variable " + wait.token +
+                      " without a predicate — spurious wakeups and lost "
+                      "notifications silently corrupt the protocol",
+                  "pass the condition as the final argument so the wait "
+                  "rechecks it");
+    }
+
+    for (const srcmodel::DetachCall& detach : file.detaches) {
+      out.warning("EPP-CONC-006",
+                  {file.path, detach.line},
+                  "detached thread: it cannot be joined, so it races "
+                  "with static destruction at shutdown",
+                  "keep the std::thread owned and join it on the "
+                  "shutdown path");
+    }
+
+    for (const srcmodel::CasCall& cas : file.cas) {
+      if (cas.in_loop) continue;
+      out.warning("EPP-CONC-007",
+                  {file.path, cas.line},
+                  "compare_exchange_weak outside a retry loop — weak CAS "
+                  "may fail spuriously even when the comparison holds",
+                  "retry in a loop, or use compare_exchange_strong for "
+                  "one-shot updates");
+    }
+  }
+
+  check_lock_order(files, resolver, out);
+  check_guarded_fields(files, resolver, out);
+}
+
+}  // namespace epp::lint::srcrules

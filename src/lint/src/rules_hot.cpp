@@ -1,0 +1,131 @@
+#include <cstddef>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "lint/src/rules.hpp"
+
+namespace epp::lint::srcrules {
+namespace {
+
+using srcmodel::FileModel;
+
+struct HotRegion {
+  int begin_line = 0;
+  int end_line = 0;
+  std::string label;
+};
+
+/// Pair EPP_HOT_BEGIN/END markers per file. Regions may not nest and
+/// labels must match; violations are EPP-HOT-005 errors and the broken
+/// region is not scanned (garbage bounds would mislocate findings).
+std::vector<HotRegion> pair_markers(const FileModel& file,
+                                    Diagnostics& out) {
+  std::vector<HotRegion> regions;
+  const srcmodel::HotMarker* open = nullptr;
+  for (const srcmodel::HotMarker& marker : file.hot_markers) {
+    if (marker.begin) {
+      if (open != nullptr) {
+        out.error("EPP-HOT-005",
+                  {file.path, marker.line},
+                  "EPP_HOT_BEGIN(" + marker.label +
+                      ") inside the still-open region '" + open->label +
+                      "' — hot regions may not nest",
+                  "close the outer region first");
+        open = &marker;  // resync on the inner begin
+        continue;
+      }
+      open = &marker;
+      continue;
+    }
+    if (open == nullptr) {
+      out.error("EPP-HOT-005",
+                {file.path, marker.line},
+                "EPP_HOT_END(" + marker.label + ") without a matching "
+                                                "EPP_HOT_BEGIN",
+                "add the begin marker, or delete this stray end");
+      continue;
+    }
+    if (open->label != marker.label) {
+      out.error("EPP-HOT-005",
+                {file.path, marker.line},
+                "EPP_HOT_END(" + marker.label + ") closes region '" +
+                    open->label + "' — labels must match exactly",
+                "make the begin/end labels agree");
+      open = nullptr;
+      continue;
+    }
+    regions.push_back(HotRegion{open->line, marker.line, marker.label});
+    open = nullptr;
+  }
+  if (open != nullptr) {
+    out.error("EPP-HOT-005",
+              {file.path, open->line},
+              "EPP_HOT_BEGIN(" + open->label +
+                  ") is never closed in this file",
+              "add EPP_HOT_END(" + open->label + ") after the hot code");
+  }
+  return regions;
+}
+
+}  // namespace
+
+void check_hot_regions(const std::vector<FileModel>& files,
+                       Diagnostics& out) {
+  // Explicit-allocation tokens only: containers may reuse capacity, so
+  // resize()/push_back() are judged by benchmarks, not by this rule.
+  static const std::regex alloc(
+      R"(\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\bmake_unique\b|\bmake_shared\b|\bstrdup\s*\()");
+  static const std::regex function_type(R"(std::function\b)");
+  static const std::regex io(
+      R"(\bprintf\s*\(|\bfprintf\s*\(|\bsprintf\s*\(|\bsnprintf\s*\(|\bputs\s*\(|\bfopen\s*\(|\bfwrite\s*\(|\bfread\s*\(|\bfflush\s*\(|std::cout\b|std::cerr\b|std::clog\b|\bofstream\b|\bifstream\b|\bfstream\b)");
+
+  for (const FileModel& file : files) {
+    const std::vector<HotRegion> regions = pair_markers(file, out);
+    for (const HotRegion& region : regions) {
+      for (int line = region.begin_line + 1; line < region.end_line; ++line) {
+        const std::string& tokens =
+            file.tokens[static_cast<std::size_t>(line - 1)];
+        if (std::regex_search(tokens, alloc)) {
+          out.warning("EPP-HOT-001",
+                      {file.path, line},
+                      "heap allocation inside hot region '" + region.label +
+                          "' — the allocator's lock and cache misses land "
+                          "on the per-event path",
+                      "preallocate outside the region (slab, pool, or "
+                      "reused buffer)");
+        }
+        if (std::regex_search(tokens, function_type)) {
+          out.warning("EPP-HOT-002",
+                      {file.path, line},
+                      "std::function inside hot region '" + region.label +
+                          "' — capturing constructions beyond the "
+                          "small-buffer limit heap-allocate per call",
+                      "take a template parameter or a raw function "
+                      "pointer + context instead");
+        }
+        if (std::regex_search(tokens, io)) {
+          out.warning("EPP-HOT-004",
+                      {file.path, line},
+                      "console/file I/O inside hot region '" + region.label +
+                          "' — a single syscall dwarfs the event budget",
+                      "buffer the data and flush outside the region");
+        }
+      }
+      for (const srcmodel::Acquisition& acquisition : file.acquisitions) {
+        if (acquisition.line <= region.begin_line ||
+            acquisition.line >= region.end_line)
+          continue;
+        out.warning("EPP-HOT-003",
+                    {file.path, acquisition.line},
+                    "lock acquisition of '" + acquisition.mutex_name +
+                        "' inside hot region '" + region.label +
+                        "' — contention here serializes the hot path",
+                    "restructure so the region runs lock-free (snapshot "
+                    "before, publish after)");
+      }
+    }
+  }
+}
+
+}  // namespace epp::lint::srcrules

@@ -1,0 +1,478 @@
+#include "lint/src/source_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <regex>
+#include <string_view>
+#include <utility>
+
+namespace epp::lint::srcmodel {
+namespace {
+
+/// Two same-shape views of the source: `code` blanks comments only
+/// (string literals survive, so declaration labels can be read);
+/// `pure` additionally blanks string/char literal contents, so token
+/// scans never match quoted or commented-out code. Line structure is
+/// preserved exactly in both.
+struct StrippedViews {
+  std::string code;
+  std::string pure;
+};
+
+StrippedViews strip(const std::string& text) {
+  StrippedViews views;
+  views.code = text;
+  views.pure = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          views.code[i] = views.pure[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          views.code[i] = views.pure[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n')
+          state = State::kCode;
+        else
+          views.code[i] = views.pure[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          views.code[i] = views.pure[i] = ' ';
+          views.code[i + 1] = views.pure[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          views.code[i] = views.pure[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          views.pure[i] = ' ';
+          if (next != '\n' && next != '\0') views.pure[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          views.pure[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          views.pure[i] = ' ';
+          if (next != '\n' && next != '\0') views.pure[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          views.pure[i] = ' ';
+        }
+        break;
+    }
+  }
+  return views;
+}
+
+std::vector<std::size_t> line_starts(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (text[i] == '\n') starts.push_back(i + 1);
+  return starts;
+}
+
+int line_of(const std::vector<std::size_t>& starts, std::size_t pos) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+  return static_cast<int>(it - starts.begin());
+}
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Find the keyword owning the block opened at `brace` (skipping back
+/// over an optional parenthesized head), or "" when the block belongs
+/// to a function body, class, lambda, initializer, etc.
+std::string block_keyword(const std::string& pure, std::size_t brace) {
+  std::size_t i = brace;
+  while (i > 0 &&
+         std::isspace(static_cast<unsigned char>(pure[i - 1])))
+    --i;
+  if (i == 0) return "";
+  if (pure[i - 1] == ')') {
+    int depth = 0;
+    std::size_t j = i;  // j-1 is ')'
+    while (j > 0) {
+      --j;
+      if (pure[j] == ')') ++depth;
+      if (pure[j] == '(') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (depth != 0) return "";
+    i = j;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(pure[i - 1])))
+      --i;
+  }
+  std::size_t end = i;
+  while (i > 0 && is_ident(pure[i - 1])) --i;
+  return pure.substr(i, end - i);
+}
+
+/// Count the top-level arguments of a call whose opening parenthesis is
+/// at `open`; returns -1 when the parens never balance.
+int count_call_args(const std::string& pure, std::size_t open) {
+  int depth = 0;
+  int commas = 0;
+  bool any_token = false;
+  for (std::size_t i = open; i < pure.size(); ++i) {
+    const char c = pure[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) return any_token ? commas + 1 : 0;
+    } else if (depth == 1) {
+      if (c == ',')
+        ++commas;
+      else if (!std::isspace(static_cast<unsigned char>(c)))
+        any_token = true;
+    }
+  }
+  return -1;
+}
+
+/// One active guard scope (or statement-form bare .lock()).
+struct GuardScope {
+  std::vector<std::string> names;
+  int depth = 0;
+  bool bare = false;  // released by .unlock(), not by scope exit
+};
+
+const std::regex& guard_pattern() {
+  static const std::regex pattern(
+      R"((?:std::)?(lock_guard|unique_lock|scoped_lock|shared_lock)\s*(?:<[^;{}<>]*>)?\s+[A-Za-z_]\w*\s*[({]([^;]*?)[)}]\s*;)"
+      R"(|(?:util::)?(MutexLock|SharedMutexLock)\s+[A-Za-z_]\w*\s*[({]([^;]*?)[)}]\s*;)");
+  return pattern;
+}
+
+const std::regex& bare_lock_pattern() {
+  static const std::regex pattern(
+      R"(^\s*([A-Za-z_][\w.\->\[\]]*?)(?:\.|->)(lock|lock_shared|unlock|unlock_shared)\(\)\s*;\s*$)");
+  return pattern;
+}
+
+std::vector<std::string> split_guard_args(const std::string& args) {
+  std::vector<std::string> names;
+  std::string current;
+  int depth = 0;
+  for (const char c : args) {
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      names.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  names.push_back(current);
+  std::vector<std::string> normalized;
+  for (std::string& name : names) {
+    std::string n = normalize_mutex_name(std::move(name));
+    // Lock-tag arguments are not mutexes.
+    if (n.empty() || n == "adopt_lock" || n == "defer_lock" ||
+        n == "try_to_lock")
+      continue;
+    normalized.push_back(std::move(n));
+  }
+  return normalized;
+}
+
+}  // namespace
+
+std::string normalize_mutex_name(std::string expr) {
+  // Trim whitespace and address-of.
+  std::size_t begin = 0;
+  std::size_t end = expr.size();
+  while (begin < end &&
+         (std::isspace(static_cast<unsigned char>(expr[begin])) ||
+          expr[begin] == '&' || expr[begin] == '*'))
+    ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(expr[end - 1])))
+    --end;
+  expr = expr.substr(begin, end - begin);
+  // Take the last member-access component: "this->pool.mutex_" -> "mutex_".
+  std::size_t cut = 0;
+  for (std::size_t i = 0; i + 1 < expr.size(); ++i) {
+    if (expr[i] == '.')
+      cut = i + 1;
+    else if (expr[i] == '-' && expr[i + 1] == '>')
+      cut = i + 2;
+  }
+  expr = expr.substr(cut);
+  // Drop trailing array / call decoration.
+  const std::size_t decoration = expr.find_first_of("([");
+  if (decoration != std::string::npos) expr = expr.substr(0, decoration);
+  return expr;
+}
+
+FileModel scan_file(const std::string& path, const std::string& text) {
+  FileModel model;
+  model.path = path;
+
+  const StrippedViews views = strip(text);
+  const std::vector<std::size_t> starts = line_starts(text);
+  model.line_count = static_cast<int>(starts.size());
+
+  // --- declarations (on `code`, labels intact) -----------------------
+  {
+    static const std::regex ranked(
+        R"((?:util::)?Ranked(Shared)?Mutex\s+([A-Za-z_]\w*)\s*([{(]))");
+    static const std::regex rank_macro(R"(EPP_LOCK_RANK\(\s*(\d+)\s*\))");
+    static const std::regex label_literal("\"([^\"]*)\"");
+    for (auto it = std::sregex_iterator(views.code.begin(), views.code.end(),
+                                        ranked);
+         it != std::sregex_iterator(); ++it) {
+      MutexDecl decl;
+      decl.file = path;
+      decl.line = line_of(starts, static_cast<std::size_t>(it->position(2)));
+      decl.name = (*it)[2];
+      decl.shared = (*it)[1].matched;
+      decl.ranked_type = true;
+      // The initializer runs to the statement end; read the rank macro
+      // and label out of it.
+      const std::size_t init_begin =
+          static_cast<std::size_t>(it->position(3));
+      const std::size_t init_end = views.code.find(';', init_begin);
+      const std::string init = views.code.substr(
+          init_begin, init_end == std::string::npos
+                          ? std::string::npos
+                          : init_end - init_begin);
+      std::smatch m;
+      if (std::regex_search(init, m, rank_macro)) decl.rank = std::stoi(m[1]);
+      if (std::regex_search(init, m, label_literal)) decl.label = m[1];
+      model.decls.push_back(std::move(decl));
+    }
+    static const std::regex std_mutex(
+        R"(std::(recursive_timed_mutex|recursive_mutex|timed_mutex|shared_mutex|mutex)\s+([A-Za-z_]\w*)\s*[;{(=])");
+    for (auto it = std::sregex_iterator(views.code.begin(), views.code.end(),
+                                        std_mutex);
+         it != std::sregex_iterator(); ++it) {
+      MutexDecl decl;
+      decl.file = path;
+      decl.line = line_of(starts, static_cast<std::size_t>(it->position(2)));
+      decl.name = (*it)[2];
+      decl.shared = (*it)[1] == "shared_mutex";
+      decl.std_type = true;
+      model.decls.push_back(std::move(decl));
+    }
+  }
+
+  // --- guarded-field bindings ---------------------------------------
+  {
+    static const std::regex guarded(
+        R"(([A-Za-z_]\w*)\s+EPP_GUARDED_BY\(\s*([^)]+?)\s*\))");
+    for (auto it = std::sregex_iterator(views.code.begin(), views.code.end(),
+                                        guarded);
+         it != std::sregex_iterator(); ++it) {
+      GuardedField field;
+      field.name = (*it)[1];
+      if (field.name == "define") continue;  // the macro's own definition
+      field.file = path;
+      field.line = line_of(starts, static_cast<std::size_t>(it->position(1)));
+      field.mutex_name = normalize_mutex_name((*it)[2]);
+      model.guarded.push_back(std::move(field));
+    }
+  }
+
+  // --- scope walk over `pure` ---------------------------------------
+  const std::string& pure = views.pure;
+  model.held_by_line.resize(static_cast<std::size_t>(model.line_count));
+  model.tokens.resize(static_cast<std::size_t>(model.line_count));
+
+  int depth = 0;
+  std::vector<GuardScope> guards;
+  std::vector<int> loop_blocks;  // depth values of active loop bodies
+  std::vector<bool> loop_keyword_line(
+      static_cast<std::size_t>(model.line_count) + 1, false);
+
+  static const std::regex loop_kw(R"(\b(while|for|do)\b)");
+  static const std::regex blocking_kw(
+      R"((\.join|\bsleep_for|\bsleep_until|\brecv|\bpoll|\baccept|\bconnect|\bsystem|\bgetline)\s*\()");
+  static const std::regex wait_kw(R"(\.(wait|wait_for|wait_until)\s*(\())");
+  static const std::regex detach_kw(R"(\.detach\s*\()");
+  static const std::regex cas_kw(R"(\bcompare_exchange_weak\b)");
+  static const std::regex hot_kw(R"(EPP_HOT_(BEGIN|END)\(\s*(\w+)\s*\))");
+
+  for (int line = 1; line <= model.line_count; ++line) {
+    const std::size_t begin = starts[static_cast<std::size_t>(line - 1)];
+    const std::size_t end = static_cast<std::size_t>(line) < starts.size()
+                                ? starts[static_cast<std::size_t>(line)]
+                                : pure.size();
+    const std::string line_text = pure.substr(begin, end - begin);
+    model.tokens[static_cast<std::size_t>(line - 1)] = line_text;
+
+    if (std::regex_search(line_text, loop_kw))
+      loop_keyword_line[static_cast<std::size_t>(line)] = true;
+
+    // Events on this line, in positional order: brace depth changes and
+    // guard constructions (a guard guards everything after it).
+    struct Event {
+      std::size_t pos;
+      int kind;  // 0 = '{', 1 = '}', 2 = guard, 3 = bare lock/unlock
+      std::vector<std::string> names;
+      bool unlock = false;
+      bool loop_head = false;
+    };
+    std::vector<Event> events;
+    for (std::size_t i = 0; i < line_text.size(); ++i) {
+      if (line_text[i] == '{') {
+        Event event{i, 0, {}, false, false};
+        const std::string kw = block_keyword(pure, begin + i);
+        event.loop_head = kw == "while" || kw == "for" || kw == "do";
+        events.push_back(std::move(event));
+      } else if (line_text[i] == '}') {
+        events.push_back(Event{i, 1, {}, false, false});
+      }
+    }
+    for (auto it = std::sregex_iterator(line_text.begin(), line_text.end(),
+                                        guard_pattern());
+         it != std::sregex_iterator(); ++it) {
+      const std::string args = (*it)[2].matched ? (*it)[2] : (*it)[4];
+      if (args.find("defer_lock") != std::string::npos)
+        continue;  // constructed unlocked
+      Event event{static_cast<std::size_t>(it->position(0)), 2,
+                  split_guard_args(args), false, false};
+      if (!event.names.empty()) events.push_back(std::move(event));
+    }
+    {
+      std::smatch m;
+      if (std::regex_match(line_text, m, bare_lock_pattern())) {
+        const std::string op = m[2];
+        Event event{static_cast<std::size_t>(m.position(1)), 3,
+                    {normalize_mutex_name(m[1])},
+                    op == "unlock" || op == "unlock_shared", false};
+        events.push_back(std::move(event));
+      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.pos < b.pos; });
+
+    for (Event& event : events) {
+      switch (event.kind) {
+        case 0:
+          ++depth;
+          if (event.loop_head) loop_blocks.push_back(depth);
+          break;
+        case 1:
+          --depth;
+          while (!guards.empty() && guards.back().depth > depth)
+            guards.pop_back();
+          while (!loop_blocks.empty() && loop_blocks.back() > depth)
+            loop_blocks.pop_back();
+          break;
+        case 2:
+        case 3: {
+          if (event.kind == 3 && event.unlock) {
+            // Release the most recent matching bare acquisition.
+            for (auto it = guards.rbegin(); it != guards.rend(); ++it) {
+              if (it->bare && it->names.size() == 1 &&
+                  it->names[0] == event.names[0]) {
+                guards.erase(std::next(it).base());
+                break;
+              }
+            }
+            break;
+          }
+          std::vector<std::string> held;
+          for (const GuardScope& guard : guards)
+            held.insert(held.end(), guard.names.begin(), guard.names.end());
+          for (const std::string& name : event.names) {
+            Acquisition acquisition;
+            acquisition.line = line;
+            acquisition.mutex_name = name;
+            acquisition.held = held;
+            model.acquisitions.push_back(std::move(acquisition));
+            held.push_back(name);  // scoped_lock(a, b): b sees a held
+          }
+          GuardScope scope;
+          scope.names = std::move(event.names);
+          scope.depth = depth;
+          scope.bare = event.kind == 3;
+          guards.push_back(std::move(scope));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    std::vector<std::string>& held_now =
+        model.held_by_line[static_cast<std::size_t>(line - 1)];
+    for (const GuardScope& guard : guards)
+      held_now.insert(held_now.end(), guard.names.begin(), guard.names.end());
+
+    // --- per-line call sites ----------------------------------------
+    if (!held_now.empty()) {
+      for (auto it = std::sregex_iterator(line_text.begin(), line_text.end(),
+                                          blocking_kw);
+           it != std::sregex_iterator(); ++it) {
+        std::string token = (*it)[1];
+        while (!token.empty() && !is_ident(token.front()))
+          token.erase(token.begin());
+        model.blocking.push_back(BlockingCall{line, token});
+      }
+    }
+    for (auto it = std::sregex_iterator(line_text.begin(), line_text.end(),
+                                        wait_kw);
+         it != std::sregex_iterator(); ++it) {
+      WaitCall wait;
+      wait.line = line;
+      wait.token = (*it)[1];
+      wait.args = count_call_args(
+          pure, begin + static_cast<std::size_t>(it->position(2)));
+      model.waits.push_back(std::move(wait));
+    }
+    if (std::regex_search(line_text, detach_kw))
+      model.detaches.push_back(DetachCall{line});
+    if (std::regex_search(line_text, cas_kw)) {
+      CasCall cas;
+      cas.line = line;
+      cas.in_loop = !loop_blocks.empty();
+      // A CAS in a loop *head* sits before the body's '{' — accept a
+      // loop keyword within the previous few lines as evidence too.
+      for (int back = std::max(1, line - 3); !cas.in_loop && back <= line;
+           ++back)
+        cas.in_loop = loop_keyword_line[static_cast<std::size_t>(back)];
+      model.cas.push_back(cas);
+    }
+    for (auto it = std::sregex_iterator(line_text.begin(), line_text.end(),
+                                        hot_kw);
+         it != std::sregex_iterator(); ++it) {
+      HotMarker marker;
+      marker.line = line;
+      marker.begin = (*it)[1] == "BEGIN";
+      marker.label = (*it)[2];
+      model.hot_markers.push_back(std::move(marker));
+    }
+  }
+
+  return model;
+}
+
+}  // namespace epp::lint::srcmodel

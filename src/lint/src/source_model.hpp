@@ -1,0 +1,115 @@
+// The per-translation-unit lock model behind epp_srclint.
+//
+// scan_file() reduces one C++ source file to the facts the EPP-CONC and
+// EPP-HOT rules consume. It is a deliberately lightweight textual
+// scanner — no libclang, no preprocessor — built on three passes:
+//
+//   1. *stripping*: two views of the text are produced, both preserving
+//      line structure — `code` (comments blanked, string literals kept,
+//      used to read mutex labels out of declarations) and a pure token
+//      view (comments AND literal contents blanked, used for every
+//      other scan so quoted or commented-out code never matches);
+//   2. *declaration harvest*: RankedMutex / RankedSharedMutex / std
+//      mutex declarations with their EPP_LOCK_RANK ranks and labels,
+//      and EPP_GUARDED_BY field bindings;
+//   3. *scope walk*: a brace-depth walk recording guard scopes
+//      (lock_guard / unique_lock / scoped_lock / shared_lock /
+//      util::MutexLock / util::SharedMutexLock and statement-form bare
+//      .lock()/.unlock()), which mutexes are held on every line, loop
+//      blocks, and the call sites the rules care about (blocking calls,
+//      cv waits with their argument counts, detach, CAS, hot markers).
+//
+// The model is intra-procedural and name-based: it sees locks a
+// function takes directly, not locks taken inside callees. That blind
+// spot is exactly what the runtime lock-rank tracker
+// (util/lock_rank.hpp) covers dynamically; the two share the
+// EPP_LOCK_RANK declarations so they can never disagree about the
+// intended order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace epp::lint::srcmodel {
+
+struct MutexDecl {
+  std::string file;
+  int line = 0;
+  std::string name;   // declared identifier, e.g. "mutex_"
+  std::string label;  // runtime dotted name, e.g. "serve.registry"
+  int rank = -1;      // EPP_LOCK_RANK value; -1 = none declared
+  bool shared = false;
+  bool ranked_type = false;  // util::RankedMutex / RankedSharedMutex
+  bool std_type = false;     // std::mutex family
+};
+
+/// A field bound to a mutex with EPP_GUARDED_BY.
+struct GuardedField {
+  std::string file;
+  int line = 0;
+  std::string name;
+  std::string mutex_name;  // normalized EPP_GUARDED_BY argument
+};
+
+/// One lock acquisition (guard construction or statement-form .lock()).
+struct Acquisition {
+  int line = 0;
+  std::string mutex_name;         // normalized (last member component)
+  std::vector<std::string> held;  // mutexes already held at this point
+};
+
+/// A call matching the blocking-call list while at least one lock is
+/// held (lock-free blocking calls are not recorded).
+struct BlockingCall {
+  int line = 0;
+  std::string token;  // e.g. "join", "sleep_for"
+};
+
+struct WaitCall {
+  int line = 0;
+  std::string token;  // "wait" / "wait_for" / "wait_until"
+  int args = 0;       // top-level argument count
+};
+
+struct CasCall {
+  int line = 0;
+  bool in_loop = false;  // inside a loop block or a loop head nearby
+};
+
+struct DetachCall {
+  int line = 0;
+};
+
+struct HotMarker {
+  int line = 0;
+  bool begin = false;
+  std::string label;
+};
+
+struct FileModel {
+  std::string path;
+  int line_count = 0;
+  std::vector<MutexDecl> decls;
+  std::vector<GuardedField> guarded;
+  std::vector<Acquisition> acquisitions;
+  std::vector<BlockingCall> blocking;
+  std::vector<WaitCall> waits;
+  std::vector<CasCall> cas;
+  std::vector<DetachCall> detaches;
+  std::vector<HotMarker> hot_markers;
+  /// held_by_line[i] = normalized names of mutexes held at the end of
+  /// line i+1 (plus any guard opened earlier on that line).
+  std::vector<std::vector<std::string>> held_by_line;
+  /// Pure token view, one entry per line (comments and literal contents
+  /// blanked); rules run their token scans over this.
+  std::vector<std::string> tokens;
+};
+
+/// Reduce `text` (the contents of `path`) to its lock model.
+FileModel scan_file(const std::string& path, const std::string& text);
+
+/// Strip a member expression to the identifier the declaration uses:
+/// "&this->session.write_mutex" -> "write_mutex".
+std::string normalize_mutex_name(std::string expr);
+
+}  // namespace epp::lint::srcmodel

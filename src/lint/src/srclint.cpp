@@ -1,0 +1,92 @@
+#include "lint/src/srclint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/src/rules.hpp"
+#include "lint/src/source_model.hpp"
+#include "lint/suppress.hpp"
+
+namespace epp::lint {
+namespace {
+
+bool lintable_extension(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".cpp" ||
+         ext == ".cc" || ext == ".cxx";
+}
+
+/// Expand files/directories into a deterministic, deduplicated file
+/// list. Unreadable or missing inputs become EPP-META-002 errors.
+std::vector<std::string> expand_paths(const std::vector<std::string>& paths,
+                                      Diagnostics& out) {
+  std::set<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    const std::filesystem::path fs_path(path);
+    if (std::filesystem::is_directory(fs_path, ec)) {
+      for (std::filesystem::recursive_directory_iterator it(fs_path, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && lintable_extension(it->path()))
+          files.insert(it->path().generic_string());
+      }
+      if (ec)
+        out.error("EPP-META-002", {path, 0},
+                  "cannot walk directory: " + ec.message());
+    } else if (std::filesystem::is_regular_file(fs_path, ec)) {
+      files.insert(fs_path.generic_string());
+    } else {
+      out.error("EPP-META-002", {path, 0},
+                "input is neither a readable file nor a directory",
+                "check the path (srclint lints C++ sources: "
+                ".hpp/.h/.hh/.cpp/.cc/.cxx)");
+    }
+  }
+  return {files.begin(), files.end()};
+}
+
+}  // namespace
+
+void lint_sources(const std::vector<std::string>& paths, Diagnostics& out,
+                  const SrclintOptions& options) {
+  Diagnostics findings;
+  const std::vector<std::string> files = expand_paths(paths, findings);
+
+  std::vector<srcmodel::FileModel> models;
+  std::vector<Suppression> suppressions;
+  models.reserve(files.size());
+  for (const std::string& file : files) {
+    std::ifstream stream(file, std::ios::binary);
+    if (!stream) {
+      findings.error("EPP-META-002", {file, 0}, "cannot open file");
+      continue;
+    }
+    std::ostringstream content;
+    content << stream.rdbuf();
+    const std::string text = content.str();
+    models.push_back(srcmodel::scan_file(file, text));
+    if (options.use_suppressions) {
+      std::vector<Suppression> found = find_suppressions(file, text);
+      suppressions.insert(suppressions.end(),
+                          std::make_move_iterator(found.begin()),
+                          std::make_move_iterator(found.end()));
+    }
+  }
+
+  srcrules::check_concurrency(models, findings);
+  srcrules::check_hot_regions(models, findings);
+
+  if (options.use_suppressions)
+    findings = apply_suppressions(findings, suppressions);
+
+  for (const Diagnostic& diagnostic : findings.all()) out.add(diagnostic);
+  out.sort_by_location();
+}
+
+}  // namespace epp::lint

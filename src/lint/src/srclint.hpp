@@ -1,0 +1,69 @@
+// epp_srclint — source-level concurrency & hot-path analyzer.
+//
+// Runs the EPP-CONC and EPP-HOT rule families over C++ source text,
+// using the lock model built by src/lint/src/source_model.hpp and the
+// annotations in util/annotations.hpp. Reported through the same
+// epp_diag engine as every other linter in the tree (stable rule IDs,
+// severity lattice, text/JSON renderers, exit-code policy), with the
+// inline `// epp-lint: ignore(<RULE>)` suppression syntax applied before
+// findings are returned.
+//
+// Rule catalog (see README.md for the full table):
+//
+//   EPP-CONC-001  error    lock-order violation: acquiring a mutex whose
+//                          EPP_LOCK_RANK is not strictly greater than a
+//                          held mutex's rank, or a cycle in the
+//                          acquired-while-holding graph
+//   EPP-CONC-002  error    double lock of a non-recursive mutex in one
+//                          scope
+//   EPP-CONC-003  warning  blocking call (join / sleep_for / recv / poll
+//                          / accept / connect / system / getline) while
+//                          holding a lock
+//   EPP-CONC-004  warning  condition-variable wait without a predicate
+//                          (lost-wakeup / spurious-wakeup hazard)
+//   EPP-CONC-005  warning  field declared EPP_GUARDED_BY(m) accessed on
+//                          a line where m is not held
+//   EPP-CONC-006  warning  detached thread (.detach(): unjoinable,
+//                          races with shutdown)
+//   EPP-CONC-007  warning  compare_exchange_weak outside a retry loop
+//                          (weak CAS may fail spuriously)
+//   EPP-CONC-008  warning  mutex not in the rank order: a std::mutex
+//                          family declaration, or a RankedMutex without
+//                          EPP_LOCK_RANK
+//   EPP-HOT-001   warning  heap allocation (new / malloc / make_unique /
+//                          make_shared) inside an EPP_HOT region
+//   EPP-HOT-002   warning  std::function construction inside an EPP_HOT
+//                          region (typically heap-allocates)
+//   EPP-HOT-003   warning  lock acquisition inside an EPP_HOT region
+//   EPP-HOT-004   warning  console / file I/O inside an EPP_HOT region
+//   EPP-HOT-005   error    unbalanced or label-mismatched EPP_HOT
+//                          markers
+//   EPP-META-001  warning  suppression comment that matches no finding
+//   EPP-META-002  error    input file could not be read
+//
+// The analysis is textual and intra-procedural by design (no compiler
+// front end, no call graph): it proves the lock discipline a reader can
+// check by eye, and leaves cross-call-chain ordering to the runtime
+// lock-rank tracker that shares the same EPP_LOCK_RANK declarations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+
+namespace epp::lint {
+
+struct SrclintOptions {
+  /// Honor `// epp-lint: ignore(...)` comments (and report stale ones
+  /// as EPP-META-001). Off shows every finding, suppressed or not.
+  bool use_suppressions = true;
+};
+
+/// Lint the given files and/or directories (directories recurse over
+/// .hpp/.h/.hh/.cpp/.cc/.cxx). Findings are appended to `out` sorted by
+/// (file, line, rule).
+void lint_sources(const std::vector<std::string>& paths, Diagnostics& out,
+                  const SrclintOptions& options = {});
+
+}  // namespace epp::lint

@@ -1,0 +1,196 @@
+#include "lint/suppress.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+
+namespace epp::lint {
+namespace {
+
+constexpr std::string_view kMarker = "epp-lint:";
+constexpr std::string_view kIgnore = "ignore";
+
+bool is_rule_char(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-';
+}
+
+std::vector<std::string> parse_rule_list(std::string_view args) {
+  std::vector<std::string> rules;
+  std::string current;
+  for (const char c : args) {
+    if (is_rule_char(c)) {
+      current.push_back(c);
+    } else if (c == ',' || c == ' ' || c == '\t') {
+      if (!current.empty()) rules.push_back(std::move(current));
+      current.clear();
+    } else {
+      return {};  // malformed list: not a suppression
+    }
+  }
+  if (!current.empty()) rules.push_back(std::move(current));
+  return rules;
+}
+
+/// The comment text of one line (or the in-comment part of a line inside
+/// a /* */ block), plus whether any code preceded it on the line.
+struct CommentSegment {
+  std::string_view text;
+  bool code_before = false;
+};
+
+}  // namespace
+
+std::vector<Suppression> find_suppressions(const std::string& file,
+                                           std::string_view text) {
+  std::vector<Suppression> found;
+  bool in_block_comment = false;
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    ++line_number;
+
+    // Walk the line extracting comment segments, tracking string
+    // literals so quoted "// epp-lint" text never suppresses anything.
+    std::vector<CommentSegment> segments;
+    bool code_seen = false;
+    bool in_string = false;
+    bool in_char = false;
+    std::size_t i = 0;
+    if (in_block_comment) {
+      const std::size_t close = line.find("*/");
+      const std::size_t len = close == std::string_view::npos
+                                  ? line.size()
+                                  : close;
+      segments.push_back(CommentSegment{line.substr(0, len), false});
+      if (close == std::string_view::npos) {
+        i = line.size();
+      } else {
+        i = close + 2;
+        in_block_comment = false;
+      }
+    }
+    for (; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_string || in_char) {
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (in_string && c == '"') {
+          in_string = false;
+        } else if (in_char && c == '\'') {
+          in_char = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        code_seen = true;
+        continue;
+      }
+      if (c == '\'') {
+        in_char = true;
+        code_seen = true;
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        segments.push_back(CommentSegment{line.substr(i + 2), code_seen});
+        break;  // rest of the line is comment
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        const std::size_t close = line.find("*/", i + 2);
+        if (close == std::string_view::npos) {
+          segments.push_back(
+              CommentSegment{line.substr(i + 2), code_seen});
+          in_block_comment = true;
+          break;
+        }
+        segments.push_back(
+            CommentSegment{line.substr(i + 2, close - (i + 2)), code_seen});
+        i = close + 1;
+        continue;
+      }
+      if (!std::isspace(static_cast<unsigned char>(c))) code_seen = true;
+    }
+
+    for (const CommentSegment& segment : segments) {
+      std::size_t marker = segment.text.find(kMarker);
+      if (marker == std::string_view::npos) continue;
+      std::size_t cursor = marker + kMarker.size();
+      while (cursor < segment.text.size() &&
+             std::isspace(static_cast<unsigned char>(segment.text[cursor])))
+        ++cursor;
+      if (segment.text.substr(cursor, kIgnore.size()) != kIgnore) continue;
+      cursor += kIgnore.size();
+      if (cursor >= segment.text.size() || segment.text[cursor] != '(')
+        continue;
+      const std::size_t close = segment.text.find(')', cursor + 1);
+      if (close == std::string_view::npos) continue;
+      std::vector<std::string> rules = parse_rule_list(
+          segment.text.substr(cursor + 1, close - cursor - 1));
+      if (rules.empty()) continue;
+      Suppression suppression;
+      suppression.file = file;
+      suppression.line = line_number;
+      // A trailing suppression excuses its own line; a standalone
+      // comment line excuses the line below it.
+      suppression.target_line =
+          segment.code_before ? line_number : line_number + 1;
+      suppression.rules = std::move(rules);
+      found.push_back(std::move(suppression));
+    }
+
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return found;
+}
+
+Diagnostics apply_suppressions(
+    const Diagnostics& input,
+    const std::vector<Suppression>& suppressions) {
+  std::vector<std::vector<bool>> rule_used(suppressions.size());
+  for (std::size_t s = 0; s < suppressions.size(); ++s)
+    rule_used[s].assign(suppressions[s].rules.size(), false);
+
+  Diagnostics output;
+  for (const Diagnostic& diagnostic : input.all()) {
+    bool suppressed = false;
+    for (std::size_t s = 0; s < suppressions.size(); ++s) {
+      const Suppression& suppression = suppressions[s];
+      if (suppression.file != diagnostic.location.file ||
+          suppression.target_line != diagnostic.location.line)
+        continue;
+      for (std::size_t r = 0; r < suppression.rules.size(); ++r) {
+        if (suppression.rules[r] == diagnostic.rule) {
+          rule_used[s][r] = true;
+          suppressed = true;
+        }
+      }
+    }
+    if (!suppressed) output.add(diagnostic);
+  }
+
+  for (std::size_t s = 0; s < suppressions.size(); ++s) {
+    const Suppression& suppression = suppressions[s];
+    std::string unused;
+    for (std::size_t r = 0; r < suppression.rules.size(); ++r) {
+      if (rule_used[s][r]) continue;
+      if (!unused.empty()) unused += ", ";
+      unused += suppression.rules[r];
+    }
+    if (unused.empty()) continue;
+    output.warning(
+        "EPP-META-001",
+        SourceLocation{suppression.file, suppression.line},
+        "suppression of " + unused + " matches no finding on line " +
+            std::to_string(suppression.target_line),
+        "delete the stale suppression (or fix the rule ID) so the "
+        "clean-tree gate stays honest");
+  }
+  return output;
+}
+
+}  // namespace epp::lint

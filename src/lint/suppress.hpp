@@ -1,0 +1,52 @@
+// Inline suppression of diagnostics in linted source text.
+//
+//   // epp-lint: ignore(<RULE>)
+//   // epp-lint: ignore(<RULE>, <RULE>)
+//
+// A suppression on its own line silences the listed rules on the *next*
+// line; a suppression trailing code silences them on its own line.
+// Anything after the closing parenthesis is free-form justification and
+// is encouraged: a suppression is an argument with the analyzer, and
+// the reader deserves to hear it.
+//
+// Suppressions are scoped deliberately tight — one line, named rules
+// only, no file-level or wildcard forms — so a suppression cannot
+// quietly swallow findings it was never reviewed against. To keep the
+// clean-tree CI gate honest, a suppression that matches no finding is
+// itself reported (EPP-META-001): stale suppressions rot into false
+// documentation, and the warning forces them out when the code they
+// excused changes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+
+namespace epp::lint {
+
+/// One parsed `// epp-lint: ignore(...)` comment. `line` is where the
+/// comment sits; `target_line` is the line it silences.
+struct Suppression {
+  std::string file;
+  int line = 0;
+  int target_line = 0;
+  std::vector<std::string> rules;
+};
+
+/// Scan source text for suppression comments. `file` labels the
+/// resulting records; `text` is the file's full contents. Comments are
+/// recognised inside both `//` and `/* */` trivia but not inside string
+/// literals.
+std::vector<Suppression> find_suppressions(const std::string& file,
+                                           std::string_view text);
+
+/// Filter `input` through `suppressions`: findings whose (file, line,
+/// rule) match a suppression are dropped; every suppression that
+/// matched nothing becomes an EPP-META-001 warning located at the
+/// suppression comment. Returns the filtered collection.
+Diagnostics apply_suppressions(const Diagnostics& input,
+                               const std::vector<Suppression>& suppressions);
+
+}  // namespace epp::lint

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "util/annotations.hpp"
+
 namespace epp::net {
 namespace {
 
@@ -179,6 +181,8 @@ ResponseMessage decode_response(const std::vector<std::uint8_t>& payload) {
   return message;
 }
 
+EPP_HOT_BEGIN(frame_io);
+
 bool write_frame(Socket& socket, const std::vector<std::uint8_t>& payload) {
   const std::vector<std::uint8_t> wire = frame_wire(payload);
   return socket.send_all(wire.data(), wire.size());
@@ -209,5 +213,7 @@ bool read_frame(Socket& socket, std::vector<std::uint8_t>& payload) {
     throw SocketError("recv: peer closed mid-frame");
   return true;
 }
+
+EPP_HOT_END(frame_io);
 
 }  // namespace epp::net

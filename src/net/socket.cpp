@@ -10,14 +10,17 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
+#include <system_error>
 #include <utility>
 
 namespace epp::net {
 namespace {
 
 [[noreturn]] void raise(const char* call) {
-  throw SocketError(std::string(call) + ": " + std::strerror(errno));
+  // std::strerror shares a static buffer across threads; the category
+  // message is the thread-safe spelling of the same text.
+  throw SocketError(std::string(call) + ": " +
+                    std::generic_category().message(errno));
 }
 
 sockaddr_in make_addr(const std::string& host, std::uint16_t port) {

@@ -24,7 +24,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include "util/annotations.hpp"
+#include "util/lock_rank.hpp"
 
 namespace epp::serve {
 
@@ -80,7 +81,7 @@ class DriftDetector {
 
  private:
   DriftOptions options_;
-  mutable std::mutex mutex_;
+  mutable util::RankedMutex mutex_{EPP_LOCK_RANK(50), "serve.drift"};
   std::uint64_t observations_ = 0;
   double mean_ = 0.0;      // running mean of e_t
   double sum_up_ = 0.0;    // cumulative (e_t - mean_t - delta)

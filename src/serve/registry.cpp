@@ -20,7 +20,7 @@ PromotionResult BundleRegistry::promote(calib::CalibrationBundle bundle,
     lint::verify_bundle(bundle, source, info, options_.verify,
                         result.findings);
     if (result.findings.has_errors()) {
-      const std::lock_guard lock(mutex_);
+      const util::MutexLock lock(mutex_);
       ++counters_.rejections;
       result.active_version = active_ != nullptr ? active_->version : 0;
       result.message =
@@ -41,7 +41,7 @@ PromotionResult BundleRegistry::promote(calib::CalibrationBundle bundle,
     candidate->resilient = std::make_unique<svc::ResilientPredictor>(
         *candidate->predictors.batch, options_.resilience);
   } catch (const std::exception& error) {
-    const std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     ++counters_.rejections;
     result.active_version = active_ != nullptr ? active_->version : 0;
     result.message = "candidate '" + source +
@@ -49,7 +49,7 @@ PromotionResult BundleRegistry::promote(calib::CalibrationBundle bundle,
     return result;
   }
 
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   candidate->version = next_version_++;
   if (active_ != nullptr) {
     history_.push_back(active_);
@@ -66,7 +66,7 @@ PromotionResult BundleRegistry::promote(calib::CalibrationBundle bundle,
 }
 
 bool BundleRegistry::rollback() {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (history_.empty()) return false;
   active_ = std::move(history_.back());
   history_.pop_back();
@@ -75,17 +75,17 @@ bool BundleRegistry::rollback() {
 }
 
 std::shared_ptr<const ServingVersion> BundleRegistry::active() const {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return active_;
 }
 
 std::uint64_t BundleRegistry::active_version() const {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return active_ != nullptr ? active_->version : 0;
 }
 
 RegistryStats BundleRegistry::stats() const {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   RegistryStats stats;
   stats.promotions = counters_.promotions;
   stats.rejections = counters_.rejections;

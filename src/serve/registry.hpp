@@ -27,7 +27,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +35,8 @@
 #include "lint/diagnostic.hpp"
 #include "lint/verify.hpp"
 #include "svc/resilient.hpp"
+#include "util/annotations.hpp"
+#include "util/lock_rank.hpp"
 
 namespace epp::serve {
 
@@ -111,18 +112,19 @@ class BundleRegistry {
  private:
   RegistryOptions options_;
 
-  mutable std::mutex mutex_;  // guards active_, history_ and versions
-  std::shared_ptr<const ServingVersion> active_;
+  mutable util::RankedMutex mutex_{EPP_LOCK_RANK(30), "serve.registry"};
+  std::shared_ptr<const ServingVersion> active_ EPP_GUARDED_BY(mutex_);
   /// Superseded versions, oldest first, bounded by keep_history.
-  std::vector<std::shared_ptr<const ServingVersion>> history_;
-  std::uint64_t next_version_ = 1;
+  std::vector<std::shared_ptr<const ServingVersion>> history_
+      EPP_GUARDED_BY(mutex_);
+  std::uint64_t next_version_ EPP_GUARDED_BY(mutex_) = 1;
 
   struct Counters {
     std::uint64_t promotions = 0;
     std::uint64_t rejections = 0;
     std::uint64_t rollbacks = 0;
   };
-  mutable Counters counters_;
+  mutable Counters counters_ EPP_GUARDED_BY(mutex_);
 };
 
 }  // namespace epp::serve

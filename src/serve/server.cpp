@@ -68,8 +68,11 @@ void PredictionServer::request_stop() {
 }
 
 void PredictionServer::wait() {
+  // lifecycle_mutex_ exists precisely to park concurrent wait()/stop()
+  // callers while the first one joins; blocking under it is the point.
   const std::lock_guard lifecycle(lifecycle_mutex_);
   if (joined_.load(std::memory_order_acquire)) return;
+  // epp-lint: ignore(EPP-CONC-003) serialized join is this lock's purpose
   if (accept_thread_.joinable()) accept_thread_.join();
   reap_sessions(/*all=*/true);
   // Readers are gone: nothing can be admitted any more. Let the workers
@@ -77,6 +80,7 @@ void PredictionServer::wait() {
   workers_stop_.store(true, std::memory_order_release);
   queue_cv_.notify_all();
   for (std::thread& worker : workers_)
+    // epp-lint: ignore(EPP-CONC-003) serialized join is this lock's purpose
     if (worker.joinable()) worker.join();
   joined_.store(true, std::memory_order_release);
 }
@@ -439,6 +443,7 @@ void PredictionServer::write_response(Session& session,
            offset += kDribbleChunk) {
         const double pause = chaos->dribble_pause_s();
         if (pause > 0.0)
+          // epp-lint: ignore(EPP-CONC-003) slow-loris chaos paces sends on purpose
           std::this_thread::sleep_for(std::chrono::duration<double>(pause));
         wrote = session.socket.send_all(
             wire.data() + offset, std::min(kDribbleChunk, wire.size() - offset));

@@ -55,7 +55,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,6 +64,8 @@
 #include "net/socket.hpp"
 #include "serve/drift.hpp"
 #include "serve/registry.hpp"
+#include "util/annotations.hpp"
+#include "util/lock_rank.hpp"
 
 namespace epp::serve {
 
@@ -166,7 +167,8 @@ class PredictionServer {
  private:
   struct Session {
     net::Socket socket;
-    std::mutex write_mutex;
+    util::RankedMutex write_mutex{EPP_LOCK_RANK(95),
+                                  "serve.server.session_write"};
     std::atomic<bool> dead{false};
   };
   using SessionPtr = std::shared_ptr<Session>;
@@ -209,12 +211,14 @@ class PredictionServer {
     std::shared_ptr<std::atomic<bool>> done;
     std::weak_ptr<Session> session;  // for the shutdown read-side broadcast
   };
-  std::mutex sessions_mutex_;
+  util::RankedMutex sessions_mutex_{EPP_LOCK_RANK(20),
+                                    "serve.server.sessions"};
   std::list<SessionHandle> session_threads_;
   std::atomic<std::size_t> open_sessions_{0};
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
+  mutable util::RankedMutex queue_mutex_{EPP_LOCK_RANK(40),
+                                         "serve.server.queue"};
+  std::condition_variable_any queue_cv_;
   std::deque<WorkItem> queue_;
 
   std::atomic<bool> started_{false};
@@ -223,7 +227,8 @@ class PredictionServer {
   /// grow); workers drain what is left, then exit.
   std::atomic<bool> workers_stop_{false};
   std::atomic<bool> joined_{false};
-  std::mutex lifecycle_mutex_;  // serializes wait()/stop() callers
+  util::RankedMutex lifecycle_mutex_{  // serializes wait()/stop() callers
+      EPP_LOCK_RANK(10), "serve.server.lifecycle"};
 
   struct Counters {
     std::atomic<std::uint64_t> connections_accepted{0};

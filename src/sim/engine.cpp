@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/annotations.hpp"
+
 namespace epp::sim {
 namespace {
 
@@ -217,6 +219,8 @@ void Engine::advance_bucket() {
   start_new_year();
 }
 
+EPP_HOT_BEGIN(sim_event_loop);
+
 double Engine::peek_live_time() {
   if (live_ == 0) {
     // Nothing can fire again: drop any stale entries wholesale.
@@ -272,5 +276,7 @@ void Engine::run_all() {
   while (step()) {
   }
 }
+
+EPP_HOT_END(sim_event_loop);
 
 }  // namespace epp::sim

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "sim/fluid.hpp"
+#include "util/annotations.hpp"
 #include "sim/replicate.hpp"
 
 namespace epp::sim::trade {
@@ -166,6 +167,8 @@ class Simulation {
                               closed_[i]);
   }
 
+  EPP_HOT_BEGIN(request_path);
+
   static void think_fired(void* self, std::uint64_t client) {
     static_cast<Simulation*>(self)->issue(static_cast<std::uint32_t>(client));
   }
@@ -233,6 +236,8 @@ class Simulation {
       }
     });
   }
+
+  EPP_HOT_END(request_path);
 
   void db_call(std::uint32_t r) {
     if (requests_[r].issue_time >= config_.warmup_s) ++measured_db_calls_;

@@ -36,7 +36,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -44,6 +43,8 @@
 #include "lint/diagnostic.hpp"
 #include "net/chaos.hpp"
 #include "svc/prediction_cache.hpp"
+#include "util/annotations.hpp"
+#include "util/lock_rank.hpp"
 
 namespace epp::svc {
 
@@ -152,7 +153,8 @@ class FaultInjector {
   std::atomic<bool> enabled_{true};
   mutable std::atomic<std::uint64_t> decisions_{0};
   mutable std::atomic<std::uint64_t> failures_{0};
-  mutable std::mutex mutex_;  // guards the map, not the counters
+  mutable util::RankedMutex mutex_{EPP_LOCK_RANK(80),
+                                 "svc.fault.streams"};  // guards the map, not the counters
   mutable std::map<std::pair<int, std::string>, std::unique_ptr<Streams>>
       streams_;
 };

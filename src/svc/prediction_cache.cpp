@@ -65,14 +65,14 @@ PredictionCache::Shard& PredictionCache::shard_for(const CacheKey& key) {
 
 std::optional<CachedPrediction> PredictionCache::lookup(const CacheKey& key) {
   Shard& shard = shard_for(key);
-  const std::lock_guard lock(shard.mutex);
-  const auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
-    ++shard.misses;
+  const util::MutexLock lock(shard.mutex);
+  const auto it = shard.index_.find(key);
+  if (it == shard.index_.end()) {
+    ++shard.misses_;
     return std::nullopt;
   }
-  ++shard.hits;
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits_;
+  shard.lru_.splice(shard.lru_.begin(), shard.lru_, it->second);
   return it->second->second;
 }
 
@@ -80,40 +80,40 @@ void PredictionCache::insert(const CacheKey& key,
                              const CachedPrediction& value) {
   if (capacity_per_shard_ == 0) return;
   Shard& shard = shard_for(key);
-  const std::lock_guard lock(shard.mutex);
-  const auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
+  const util::MutexLock lock(shard.mutex);
+  const auto it = shard.index_.find(key);
+  if (it != shard.index_.end()) {
     it->second->second = value;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    shard.lru_.splice(shard.lru_.begin(), shard.lru_, it->second);
     return;
   }
-  if (shard.lru.size() >= capacity_per_shard_) {
-    shard.index.erase(shard.lru.back().first);
-    shard.lru.pop_back();
-    ++shard.evictions;
+  if (shard.lru_.size() >= capacity_per_shard_) {
+    shard.index_.erase(shard.lru_.back().first);
+    shard.lru_.pop_back();
+    ++shard.evictions_;
   }
-  shard.lru.emplace_front(key, value);
-  shard.index.emplace(key, shard.lru.begin());
+  shard.lru_.emplace_front(key, value);
+  shard.index_.emplace(key, shard.lru_.begin());
 }
 
 CacheStats PredictionCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
-    const std::lock_guard lock(shard->mutex);
-    total.hits += shard->hits;
-    total.misses += shard->misses;
-    total.evictions += shard->evictions;
-    total.entries += shard->lru.size();
+    const util::MutexLock lock(shard->mutex);
+    total.hits += shard->hits_;
+    total.misses += shard->misses_;
+    total.evictions += shard->evictions_;
+    total.entries += shard->lru_.size();
   }
   return total;
 }
 
 void PredictionCache::clear() {
   for (const auto& shard : shards_) {
-    const std::lock_guard lock(shard->mutex);
-    shard->lru.clear();
-    shard->index.clear();
-    shard->hits = shard->misses = shard->evictions = 0;
+    const util::MutexLock lock(shard->mutex);
+    shard->lru_.clear();
+    shard->index_.clear();
+    shard->hits_ = shard->misses_ = shard->evictions_ = 0;
   }
 }
 

@@ -26,7 +26,8 @@
 #include <utility>
 #include <vector>
 
-#include <mutex>
+#include "util/annotations.hpp"
+#include "util/lock_rank.hpp"
 
 namespace epp::svc {
 
@@ -99,12 +100,13 @@ class PredictionCache {
  private:
   using LruList = std::list<std::pair<CacheKey, CachedPrediction>>;
   struct Shard {
-    mutable std::mutex mutex;
-    LruList lru;  // front = most recently used
-    std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    mutable util::RankedMutex mutex{EPP_LOCK_RANK(70), "svc.cache.shard"};
+    LruList lru_ EPP_GUARDED_BY(mutex);  // front = most recently used
+    std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index_
+        EPP_GUARDED_BY(mutex);
+    std::uint64_t hits_ EPP_GUARDED_BY(mutex) = 0;
+    std::uint64_t misses_ EPP_GUARDED_BY(mutex) = 0;
+    std::uint64_t evictions_ EPP_GUARDED_BY(mutex) = 0;
   };
 
   Shard& shard_for(const CacheKey& key);

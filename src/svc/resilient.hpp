@@ -36,7 +36,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <shared_mutex>
 #include <stdexcept>
 #include <string>
@@ -48,7 +47,9 @@
 
 #include "core/predictor.hpp"
 #include "svc/batch_predictor.hpp"
+#include "util/annotations.hpp"
 #include "util/cancellation.hpp"
+#include "util/lock_rank.hpp"
 #include "util/thread_pool.hpp"
 
 namespace epp::svc {
@@ -261,12 +262,14 @@ class ResilientPredictor {
   const BatchPredictor& engine_;
   ResilienceOptions options_;
 
-  mutable std::shared_mutex breaker_mutex_;
+  mutable util::RankedSharedMutex breaker_mutex_{EPP_LOCK_RANK(60),
+                                               "svc.resilient.breakers"};
   mutable std::map<std::pair<int, std::string>, std::unique_ptr<Breaker>>
       breakers_;
   mutable std::atomic<int> breakers_created_{0};
 
-  mutable std::shared_mutex stale_mutex_;
+  mutable util::RankedSharedMutex stale_mutex_{EPP_LOCK_RANK(61),
+                                             "svc.resilient.stale"};
   mutable std::unordered_map<CacheKey, StaleEntry, CacheKeyHash> stale_;
   /// Insertion order of stale_ keys, oldest first (eviction victims).
   mutable std::list<CacheKey> stale_order_;

@@ -1,0 +1,107 @@
+#include "util/lock_rank.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace epp::util::lock_rank {
+namespace {
+
+void abort_handler(const char* acquiring, int acquiring_rank, const char* held,
+                   int held_rank) {
+  if (acquiring == held || acquiring_rank == held_rank) {
+    std::fprintf(stderr,
+                 "epp lock-rank: double lock of \"%s\" (rank %d) — "
+                 "non-recursive mutex re-acquired on the same thread\n",
+                 acquiring, acquiring_rank);
+  } else {
+    std::fprintf(stderr,
+                 "epp lock-rank: acquiring \"%s\" (rank %d) while holding "
+                 "\"%s\" (rank %d) — lock order requires strictly "
+                 "increasing ranks\n",
+                 acquiring, acquiring_rank, held, held_rank);
+  }
+  std::abort();
+}
+
+std::atomic<ViolationHandler> g_handler{&abort_handler};
+
+// A thread never legitimately holds more than a handful of mutexes at
+// once (the deepest real chain is two); 16 leaves headroom for tests.
+constexpr int kMaxHeld = 16;
+
+struct HeldRecord {
+  int rank;
+  const char* name;
+  const void* mutex;
+  // false: this was a same-thread re-lock downgraded to a no-op — the
+  // underlying mutex was never touched, so its release must skip the
+  // underlying unlock too.
+  bool acquired;
+};
+
+struct HeldStack {
+  HeldRecord records[kMaxHeld];
+  int count = 0;
+};
+
+thread_local HeldStack t_held;
+
+}  // namespace
+
+ViolationHandler set_violation_handler(ViolationHandler handler) noexcept {
+  return g_handler.exchange(handler != nullptr ? handler : &abort_handler);
+}
+
+bool on_acquire(int rank, const char* name, const void* mutex) noexcept {
+  HeldStack& held = t_held;
+  // Report against the worst offender: the highest held rank, or the
+  // prior record for a re-acquired mutex.
+  const HeldRecord* violator = nullptr;
+  bool re_lock = false;
+  for (int i = 0; i < held.count; ++i) {
+    const HeldRecord& r = held.records[i];
+    if (r.mutex == mutex) {
+      violator = &r;
+      re_lock = true;
+      break;
+    }
+    if (r.rank >= rank && (violator == nullptr || r.rank > violator->rank)) {
+      violator = &r;
+    }
+  }
+  if (violator != nullptr) {
+    g_handler.load()(name, rank, violator->name, violator->rank);
+    // A non-aborting handler (tests) falls through: still record the
+    // acquisition so release stays balanced. A same-mutex re-lock is
+    // downgraded to a no-op — actually re-acquiring a non-recursive
+    // mutex would deadlock right here, under the checker meant to
+    // report it.
+  }
+  if (held.count < kMaxHeld) {
+    held.records[held.count++] = HeldRecord{rank, name, mutex, !re_lock};
+  }
+  return !re_lock;
+}
+
+bool on_release(const void* mutex) noexcept {
+  HeldStack& held = t_held;
+  // Releases are usually LIFO but std::unique_lock allows any order;
+  // scan from the top so a re-lock's no-op record pops before the real
+  // acquisition underneath it.
+  for (int i = held.count - 1; i >= 0; --i) {
+    if (held.records[i].mutex == mutex) {
+      const bool acquired = held.records[i].acquired;
+      for (int j = i; j + 1 < held.count; ++j) {
+        held.records[j] = held.records[j + 1];
+      }
+      --held.count;
+      return acquired;
+    }
+  }
+  return true;  // unbalanced release: let the underlying mutex report it
+}
+
+int held_count() noexcept { return t_held.count; }
+
+}  // namespace epp::util::lock_rank

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/annotations.hpp"
+
 namespace epp::util {
 namespace {
 
@@ -65,6 +67,8 @@ double Rng::exponential(double mean) noexcept {
   return -mean * std::log(1.0 - uniform());
 }
 
+EPP_HOT_BEGIN(soa_pool_fill);
+
 void Rng::fill_exponential(double mean, double* dst, std::size_t n) noexcept {
   if (mean <= 0.0) {
     for (std::size_t i = 0; i < n; ++i) dst[i] = 0.0;
@@ -84,6 +88,8 @@ void Rng::fill_exponential(double mean, double* dst, std::size_t n) noexcept {
     n -= m;
   }
 }
+
+EPP_HOT_END(soa_pool_fill);
 
 bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -34,8 +34,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      cv_.wait(lock, [this] { return queue_ready(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
@@ -51,7 +51,7 @@ void ThreadPool::parallel_for(std::size_t n,
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  RankedMutex error_mutex{EPP_LOCK_RANK(85), "util.pool.error"};
 
   auto body = [&] {
     for (;;) {

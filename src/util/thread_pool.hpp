@@ -12,12 +12,13 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/cancellation.hpp"
+#include "util/lock_rank.hpp"
 
 namespace epp::util {
 
@@ -39,7 +40,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
       queue_.emplace([task] { (*task)(); });
     }
@@ -58,11 +59,18 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  // Condition-variable predicate; the cv holds mutex_ around the call
+  // but the analysis cannot see that.
+  bool queue_ready() const EPP_NO_THREAD_SAFETY_ANALYSIS {
+    // epp-lint: ignore(EPP-CONC-005) cv wait holds mutex_ around the predicate
+    return stopping_ || !queue_.empty();
+  }
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable RankedMutex mutex_{EPP_LOCK_RANK(90), "util.pool.queue"};
+  std::queue<std::function<void()>> queue_ EPP_GUARDED_BY(mutex_);
+  std::condition_variable_any cv_;
+  bool stopping_ EPP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace epp::util

@@ -1,0 +1,17 @@
+// Corpus: EPP-CONC-003 — sleeping while a lock is held.
+#include <chrono>
+#include <thread>
+
+#include "util/annotations.hpp"
+#include "util/lock_rank.hpp"
+
+namespace lint_corpus {
+
+inline epp::util::RankedMutex busy{EPP_LOCK_RANK(40), "corpus.busy"};
+
+inline void nap_with_lock() {
+  const epp::util::MutexLock lock(busy);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,21 @@
+// Corpus: EPP-CONC-007 — weak CAS outside a retry loop (it may fail
+// spuriously); the second form below is the accepted idiom.
+#include <atomic>
+
+namespace lint_corpus {
+
+inline std::atomic<int> slot{0};
+
+inline bool claim_once(int id) {
+  int expected = 0;
+  return slot.compare_exchange_weak(expected, id);
+}
+
+inline void claim_retrying(int id) {
+  int expected = 0;
+  while (!slot.compare_exchange_weak(expected, id)) {
+    expected = 0;
+  }
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,11 @@
+// Corpus: EPP-CONC-006 — a detached thread racing static destruction.
+#include <thread>
+
+namespace lint_corpus {
+
+inline void fire_and_forget() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,15 @@
+// Corpus: EPP-CONC-002 — re-locking a non-recursive mutex already held
+// by the same scope.
+#include "util/annotations.hpp"
+#include "util/lock_rank.hpp"
+
+namespace lint_corpus {
+
+inline epp::util::RankedMutex once{EPP_LOCK_RANK(30), "corpus.once"};
+
+inline void relock() {
+  const epp::util::MutexLock outer(once);
+  const epp::util::MutexLock inner(once);
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,21 @@
+// Corpus: EPP-CONC-005 — a guarded field touched without its lock.
+#include <cstdint>
+
+#include "util/annotations.hpp"
+#include "util/lock_rank.hpp"
+
+namespace lint_corpus {
+
+struct Counter {
+  epp::util::RankedMutex mutex{EPP_LOCK_RANK(50), "corpus.counter"};
+  std::uint64_t value EPP_GUARDED_BY(mutex) = 0;
+
+  void locked_bump() {
+    const epp::util::MutexLock lock(mutex);
+    ++value;
+  }
+
+  std::uint64_t racy_read() const { return value; }
+};
+
+}  // namespace lint_corpus

@@ -1,0 +1,14 @@
+// Corpus: EPP-HOT-001 — heap allocation on the hot path.
+#include "util/annotations.hpp"
+
+namespace lint_corpus {
+
+EPP_HOT_BEGIN(corpus_alloc);
+
+inline int* fresh_int() {
+  return new int(42);
+}
+
+EPP_HOT_END(corpus_alloc);
+
+}  // namespace lint_corpus

@@ -1,0 +1,17 @@
+// Corpus: EPP-HOT-002 — std::function construction on the hot path.
+#include <functional>
+
+#include "util/annotations.hpp"
+
+namespace lint_corpus {
+
+EPP_HOT_BEGIN(corpus_function);
+
+inline int call_twice(int x) {
+  const std::function<int(int)> f = [](int v) { return v + v; };
+  return f(f(x));
+}
+
+EPP_HOT_END(corpus_function);
+
+}  // namespace lint_corpus

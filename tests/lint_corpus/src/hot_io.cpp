@@ -1,0 +1,16 @@
+// Corpus: EPP-HOT-004 — console I/O inside a hot region.
+#include <cstdio>
+
+#include "util/annotations.hpp"
+
+namespace lint_corpus {
+
+EPP_HOT_BEGIN(corpus_io);
+
+inline void trace_event(int id) {
+  std::printf("event %d\n", id);
+}
+
+EPP_HOT_END(corpus_io);
+
+}  // namespace lint_corpus

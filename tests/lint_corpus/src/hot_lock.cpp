@@ -1,0 +1,19 @@
+// Corpus: EPP-HOT-003 — taking a lock inside a hot region.
+#include "util/annotations.hpp"
+#include "util/lock_rank.hpp"
+
+namespace lint_corpus {
+
+inline epp::util::RankedMutex hot_mutex{EPP_LOCK_RANK(60), "corpus.hot"};
+inline int hot_state = 0;
+
+EPP_HOT_BEGIN(corpus_lock);
+
+inline int read_state() {
+  const epp::util::MutexLock lock(hot_mutex);
+  return hot_state;
+}
+
+EPP_HOT_END(corpus_lock);
+
+}  // namespace lint_corpus

@@ -1,0 +1,19 @@
+// Corpus: EPP-HOT-005 — marker bookkeeping errors: an end with no
+// begin, a label mismatch, a nested begin, and a begin that never
+// closes.
+#include "util/annotations.hpp"
+
+namespace lint_corpus {
+
+EPP_HOT_END(corpus_stray);
+
+EPP_HOT_BEGIN(corpus_first);
+EPP_HOT_END(corpus_second);
+
+EPP_HOT_BEGIN(corpus_outer);
+EPP_HOT_BEGIN(corpus_inner);
+EPP_HOT_END(corpus_inner);
+
+EPP_HOT_BEGIN(corpus_open);
+
+}  // namespace lint_corpus

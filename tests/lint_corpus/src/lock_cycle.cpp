@@ -1,0 +1,27 @@
+// Corpus: EPP-CONC-001 (lock-order cycle among unranked mutexes) plus
+// EPP-CONC-008 for each std::mutex declaration. No single edge breaks
+// a rank rule — only the cycle pass can see this deadlock.
+#include <mutex>
+
+namespace lint_corpus {
+
+inline std::mutex cycle_a;
+inline std::mutex cycle_b;
+inline std::mutex cycle_c;
+
+inline void a_then_b() {
+  const std::lock_guard ga(cycle_a);
+  const std::lock_guard gb(cycle_b);
+}
+
+inline void b_then_c() {
+  const std::lock_guard gb(cycle_b);
+  const std::lock_guard gc(cycle_c);
+}
+
+inline void c_then_a() {
+  const std::lock_guard gc(cycle_c);
+  const std::lock_guard ga(cycle_a);
+}
+
+}  // namespace lint_corpus

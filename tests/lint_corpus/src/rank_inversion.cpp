@@ -1,0 +1,27 @@
+// Corpus: EPP-CONC-001 (rank inversion). Also the runtime cross-check
+// fixture: tests/util_lock_rank_test.cpp #includes this file and calls
+// lock_inverted() under a recording handler — the static analyzer and
+// the runtime tracker must agree on this defect.
+//
+// lock_in_order() and lock_inverted() together also form a lock-order
+// cycle (low -> high and high -> low); the analyzer reports the rank
+// inversion and elides the redundant cycle report.
+#include "util/annotations.hpp"
+#include "util/lock_rank.hpp"
+
+namespace lint_corpus {
+
+inline epp::util::RankedMutex corpus_low{EPP_LOCK_RANK(10), "corpus.low"};
+inline epp::util::RankedMutex corpus_high{EPP_LOCK_RANK(20), "corpus.high"};
+
+inline void lock_in_order() {
+  const epp::util::MutexLock low(corpus_low);
+  const epp::util::MutexLock high(corpus_high);
+}
+
+inline void lock_inverted() {
+  const epp::util::MutexLock high(corpus_high);
+  const epp::util::MutexLock low(corpus_low);  // rank 10 under rank 20
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,14 @@
+// Corpus: a real finding silenced by an inline suppression — this file
+// must produce no diagnostics when suppressions are honored, and one
+// EPP-CONC-006 under --no-suppress.
+#include <thread>
+
+namespace lint_corpus {
+
+inline void sanctioned_detach() {
+  std::thread watchdog([] {});
+  // epp-lint: ignore(EPP-CONC-006) the watchdog must outlive its creator
+  watchdog.detach();
+}
+
+}  // namespace lint_corpus

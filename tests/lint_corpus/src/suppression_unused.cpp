@@ -1,0 +1,10 @@
+// Corpus: EPP-META-001 — a suppression whose rule never fires goes
+// stale and must be reported, not silently ignored.
+namespace lint_corpus {
+
+inline int answer() {
+  // epp-lint: ignore(EPP-HOT-001) nothing allocates here any more
+  return 42;
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,12 @@
+// Corpus: EPP-CONC-008 — a plain std::mutex outside the rank order, and
+// a RankedMutex whose initializer forgets the EPP_LOCK_RANK macro.
+#include <mutex>
+
+#include "util/lock_rank.hpp"
+
+namespace lint_corpus {
+
+inline std::mutex unranked;
+inline epp::util::RankedMutex bare_rank{7, "corpus.bare"};
+
+}  // namespace lint_corpus

@@ -1,0 +1,24 @@
+// Corpus: EPP-CONC-004 — condition-variable waits with no predicate
+// (plus EPP-CONC-008 for the unranked mutex they wait on).
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace lint_corpus {
+
+inline std::mutex wait_mutex;
+inline std::condition_variable wait_cv;
+inline bool ready();
+
+inline void wait_wrong() {
+  std::unique_lock lock(wait_mutex);
+  wait_cv.wait(lock);
+  wait_cv.wait_for(lock, std::chrono::milliseconds(5));
+}
+
+inline void wait_right() {
+  std::unique_lock lock(wait_mutex);
+  wait_cv.wait(lock, [] { return ready(); });
+}
+
+}  // namespace lint_corpus

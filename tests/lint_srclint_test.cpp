@@ -1,0 +1,249 @@
+// epp_srclint — the source-level concurrency / hot-path analyzer.
+//
+// Three contracts are pinned here:
+//
+//   1. The defect corpus (tests/lint_corpus/src): every file seeds one
+//      or more defects, and the table below fixes the exact rule ID,
+//      severity and line the analyzer must report. A scanner regression
+//      that shifts, drops or duplicates a finding fails the table.
+//   2. The clean-tree gate: the repo's own src/ and tools/ trees lint
+//      to zero findings. CI enforces the same invariant with the
+//      epp_srclint binary; this test catches it at `ctest` time.
+//   3. Suppression semantics: `// epp-lint: ignore(<RULE>)` silences
+//      exactly its target line, stale suppressions surface as
+//      EPP-META-001, and --no-suppress reveals everything.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "lint/src/srclint.hpp"
+#include "lint/suppress.hpp"
+
+namespace epp {
+namespace {
+
+using lint::Diagnostic;
+using lint::Diagnostics;
+using lint::Severity;
+using lint::SrclintOptions;
+
+std::string corpus_dir() {
+  return std::string(EPP_LINT_CORPUS_DIR) + "/src";
+}
+
+Diagnostics lint_paths(const std::vector<std::string>& paths,
+                       bool use_suppressions = true) {
+  SrclintOptions options;
+  options.use_suppressions = use_suppressions;
+  Diagnostics diagnostics;
+  lint::lint_sources(paths, diagnostics, options);
+  return diagnostics;
+}
+
+// --- 1. the golden corpus --------------------------------------------------
+
+struct GoldenFinding {
+  const char* file;
+  int line;
+  const char* rule;
+  Severity severity;
+};
+
+// Sorted the way sort_by_location sorts: (file, line, rule).
+const GoldenFinding kGolden[] = {
+    {"blocking_under_lock.cpp", 14, "EPP-CONC-003", Severity::kWarning},
+    {"cas_retry.cpp", 11, "EPP-CONC-007", Severity::kWarning},
+    {"detached_thread.cpp", 8, "EPP-CONC-006", Severity::kWarning},
+    {"double_lock.cpp", 12, "EPP-CONC-002", Severity::kError},
+    {"guarded_bare_access.cpp", 18, "EPP-CONC-005", Severity::kWarning},
+    {"hot_alloc.cpp", 9, "EPP-HOT-001", Severity::kWarning},
+    {"hot_function.cpp", 11, "EPP-HOT-002", Severity::kWarning},
+    {"hot_io.cpp", 11, "EPP-HOT-004", Severity::kWarning},
+    {"hot_lock.cpp", 13, "EPP-HOT-003", Severity::kWarning},
+    {"hot_unbalanced.cpp", 8, "EPP-HOT-005", Severity::kError},
+    {"hot_unbalanced.cpp", 11, "EPP-HOT-005", Severity::kError},
+    {"hot_unbalanced.cpp", 14, "EPP-HOT-005", Severity::kError},
+    {"hot_unbalanced.cpp", 17, "EPP-HOT-005", Severity::kError},
+    {"lock_cycle.cpp", 8, "EPP-CONC-008", Severity::kWarning},
+    {"lock_cycle.cpp", 9, "EPP-CONC-008", Severity::kWarning},
+    {"lock_cycle.cpp", 10, "EPP-CONC-008", Severity::kWarning},
+    {"lock_cycle.cpp", 14, "EPP-CONC-001", Severity::kError},
+    {"rank_inversion.cpp", 24, "EPP-CONC-001", Severity::kError},
+    {"suppression_unused.cpp", 6, "EPP-META-001", Severity::kWarning},
+    {"unranked_mutex.cpp", 9, "EPP-CONC-008", Severity::kWarning},
+    {"unranked_mutex.cpp", 10, "EPP-CONC-008", Severity::kWarning},
+    {"wait_without_predicate.cpp", 9, "EPP-CONC-008", Severity::kWarning},
+    {"wait_without_predicate.cpp", 15, "EPP-CONC-004", Severity::kWarning},
+    {"wait_without_predicate.cpp", 16, "EPP-CONC-004", Severity::kWarning},
+};
+
+TEST(SrclintCorpus, EveryDefectPinnedToRuleSeverityAndLine) {
+  const Diagnostics diagnostics = lint_paths({corpus_dir()});
+  ASSERT_EQ(diagnostics.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < std::size(kGolden); ++i) {
+    const GoldenFinding& want = kGolden[i];
+    const Diagnostic& got = diagnostics.all()[i];
+    const std::string file = corpus_dir() + "/" + want.file;
+    EXPECT_EQ(got.location.file, file) << "finding " << i;
+    EXPECT_EQ(got.location.line, want.line) << "finding " << i;
+    EXPECT_EQ(got.rule, want.rule) << "finding " << i;
+    EXPECT_EQ(got.severity, want.severity) << "finding " << i;
+    EXPECT_FALSE(got.message.empty()) << "finding " << i;
+  }
+}
+
+TEST(SrclintCorpus, CorpusCoversTheWholeRuleCatalog) {
+  // ≥10 distinct seeded rules; if a rule is added to the analyzer it
+  // must gain corpus coverage (and a row in this list).
+  std::vector<std::string> covered;
+  for (const GoldenFinding& finding : kGolden) covered.push_back(finding.rule);
+  std::sort(covered.begin(), covered.end());
+  covered.erase(std::unique(covered.begin(), covered.end()), covered.end());
+  const std::vector<std::string> expected = {
+      "EPP-CONC-001", "EPP-CONC-002", "EPP-CONC-003", "EPP-CONC-004",
+      "EPP-CONC-005", "EPP-CONC-006", "EPP-CONC-007", "EPP-CONC-008",
+      "EPP-HOT-001",  "EPP-HOT-002",  "EPP-HOT-003",  "EPP-HOT-004",
+      "EPP-HOT-005",  "EPP-META-001",
+  };
+  EXPECT_EQ(covered, expected);
+}
+
+TEST(SrclintCorpus, ExitCodeIsMaxSeverity) {
+  const Diagnostics diagnostics = lint_paths({corpus_dir()});
+  EXPECT_EQ(lint::exit_code(diagnostics), 2);  // errors present
+
+  const Diagnostics warnings_only =
+      lint_paths({corpus_dir() + "/detached_thread.cpp"});
+  EXPECT_EQ(lint::exit_code(warnings_only), 1);
+
+  const Diagnostics clean =
+      lint_paths({corpus_dir() + "/suppressed_clean.cpp"});
+  EXPECT_EQ(lint::exit_code(clean), 0);
+}
+
+TEST(SrclintCorpus, RankInversionElidesTheRedundantCycleReport) {
+  // rank_inversion.cpp's two functions form a low->high->low cycle; the
+  // rank rule already explains the descending edge, so exactly one
+  // EPP-CONC-001 must come out — not a second, cycle-phrased duplicate.
+  const Diagnostics diagnostics =
+      lint_paths({corpus_dir() + "/rank_inversion.cpp"});
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics.all()[0].rule, "EPP-CONC-001");
+  EXPECT_NE(diagnostics.all()[0].message.find("rank"), std::string::npos);
+}
+
+TEST(SrclintCorpus, PureCycleIsReportedOnceWithTheFullChain) {
+  const Diagnostics diagnostics =
+      lint_paths({corpus_dir() + "/lock_cycle.cpp"});
+  int cycles = 0;
+  for (const Diagnostic& diagnostic : diagnostics.all()) {
+    if (diagnostic.rule != "EPP-CONC-001") continue;
+    ++cycles;
+    EXPECT_NE(diagnostic.message.find(
+                  "cycle_a -> cycle_b -> cycle_c -> cycle_a"),
+              std::string::npos)
+        << diagnostic.message;
+  }
+  EXPECT_EQ(cycles, 1);
+}
+
+TEST(SrclintCorpus, MissingInputIsMeta002Error) {
+  const Diagnostics diagnostics =
+      lint_paths({corpus_dir() + "/no_such_file.cpp"});
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics.all()[0].rule, "EPP-META-002");
+  EXPECT_EQ(diagnostics.all()[0].severity, Severity::kError);
+  EXPECT_EQ(lint::exit_code(diagnostics), 2);
+}
+
+// --- 2. the clean-tree gate ------------------------------------------------
+
+TEST(SrclintCleanTree, RepoSourcesAndToolsLintToZeroFindings) {
+  const std::string root = EPP_SOURCE_ROOT;
+  const Diagnostics diagnostics =
+      lint_paths({root + "/src", root + "/tools"});
+  EXPECT_TRUE(diagnostics.empty())
+      << "the annotated tree must stay clean; found:\n"
+      << lint::render_text(diagnostics);
+}
+
+// --- 3. suppression semantics ----------------------------------------------
+
+TEST(SrclintSuppression, StandaloneCommentSilencesTheNextLine) {
+  const Diagnostics honored =
+      lint_paths({corpus_dir() + "/suppressed_clean.cpp"});
+  EXPECT_TRUE(honored.empty()) << lint::render_text(honored);
+
+  const Diagnostics revealed = lint_paths(
+      {corpus_dir() + "/suppressed_clean.cpp"}, /*use_suppressions=*/false);
+  ASSERT_EQ(revealed.size(), 1u);
+  EXPECT_EQ(revealed.all()[0].rule, "EPP-CONC-006");
+}
+
+TEST(SrclintSuppression, TrailingCommentSilencesItsOwnLine) {
+  const std::string text =
+      "#include <thread>\n"
+      "void f() {\n"
+      "  std::thread t([] {});\n"
+      "  t.detach();  // epp-lint: ignore(EPP-CONC-006) shutdown-free\n"
+      "}\n";
+  const std::vector<lint::Suppression> suppressions =
+      lint::find_suppressions("f.cpp", text);
+  ASSERT_EQ(suppressions.size(), 1u);
+  EXPECT_EQ(suppressions[0].line, 4);
+  EXPECT_EQ(suppressions[0].target_line, 4);  // trailing: its own line
+  ASSERT_EQ(suppressions[0].rules.size(), 1u);
+  EXPECT_EQ(suppressions[0].rules[0], "EPP-CONC-006");
+}
+
+TEST(SrclintSuppression, QuotedMarkerTextIsNotASuppression) {
+  const std::string text =
+      "const char* doc = \"// epp-lint: ignore(EPP-CONC-006)\";\n";
+  EXPECT_TRUE(lint::find_suppressions("f.cpp", text).empty());
+}
+
+TEST(SrclintSuppression, MalformedRuleListIsIgnored) {
+  // Lowercase / placeholder rule names (as used in documentation) must
+  // not register as suppressions — and therefore can never go stale.
+  const std::string text =
+      "// epp-lint: ignore(<RULE>)\n"
+      "// epp-lint: ignore(rule)\n"
+      "// epp-lint: ignore EPP-CONC-006\n";
+  EXPECT_TRUE(lint::find_suppressions("f.cpp", text).empty());
+}
+
+TEST(SrclintSuppression, MultiRuleCommentTracksEachRuleSeparately) {
+  // One rule fires, the other is stale: the finding is suppressed AND
+  // the stale half is reported.
+  Diagnostics input;
+  input.warning("EPP-CONC-006", {"f.cpp", 4}, "detached thread");
+  lint::Suppression suppression;
+  suppression.file = "f.cpp";
+  suppression.line = 3;
+  suppression.target_line = 4;
+  suppression.rules = {"EPP-CONC-006", "EPP-HOT-001"};
+  const Diagnostics output =
+      lint::apply_suppressions(input, {suppression});
+  ASSERT_EQ(output.size(), 1u);
+  EXPECT_EQ(output.all()[0].rule, "EPP-META-001");
+  EXPECT_NE(output.all()[0].message.find("EPP-HOT-001"), std::string::npos);
+  EXPECT_EQ(output.all()[0].message.find("EPP-CONC-006"), std::string::npos);
+}
+
+TEST(SrclintSuppression, StaleSuppressionIsMeta001) {
+  const Diagnostics diagnostics =
+      lint_paths({corpus_dir() + "/suppression_unused.cpp"});
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics.all()[0].rule, "EPP-META-001");
+  EXPECT_EQ(diagnostics.all()[0].location.line, 6);
+  // --no-suppress: nothing to report at all (the defect never existed).
+  EXPECT_TRUE(
+      lint_paths({corpus_dir() + "/suppression_unused.cpp"}, false).empty());
+}
+
+}  // namespace
+}  // namespace epp

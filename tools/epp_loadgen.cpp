@@ -56,7 +56,6 @@
 #include <iostream>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -68,7 +67,9 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "svc/resilient.hpp"
+#include "util/annotations.hpp"
 #include "util/cli.hpp"
+#include "util/lock_rank.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -338,8 +339,9 @@ struct Pending {
 /// always reads from the incarnation it was spawned for.
 struct LiveConn {
   net::Socket socket;
-  std::mutex write_mutex;  // sender + receiver (observe frames) both write
-  std::mutex inflight_mutex;
+  // sender + receiver (observe frames) both write
+  util::RankedMutex write_mutex{EPP_LOCK_RANK(110), "tool.loadgen.write"};
+  util::RankedMutex inflight_mutex{EPP_LOCK_RANK(100), "tool.loadgen.inflight"};
   std::unordered_map<std::uint64_t, Pending> inflight;
 };
 

@@ -1,0 +1,80 @@
+// epp_srclint — concurrency & hot-path static analysis for the tree's
+// own C++ sources.
+//
+//   epp_srclint [--json] [--no-suppress] PATH...
+//
+// PATHs are files or directories (directories recurse over
+// .hpp/.h/.hh/.cpp/.cc/.cxx). The analyzer builds a lock model from the
+// EPP_LOCK_RANK / EPP_GUARDED_BY / EPP_HOT annotations
+// (util/annotations.hpp) and the guard scopes it finds, then runs the
+// EPP-CONC (lock order, blocking under lock, double lock, guarded
+// fields, detached threads, broken CAS) and EPP-HOT (allocation,
+// std::function, locks, I/O in hot regions) rule families. Findings
+// print in the same compiler-style / JSON formats as epp_lint.
+//
+// `// epp-lint: ignore(<RULE>)` comments suppress a finding on the next
+// line (or their own line when trailing code); stale suppressions are
+// reported as EPP-META-001 so the CI clean gate stays honest.
+// --no-suppress shows everything.
+//
+// Exit code is the maximum severity found: 0 clean or notes only,
+// 1 warnings, 2 errors — CI runs `epp_srclint src tools` as a tier-1
+// gate. Usage errors exit 2.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "lint/src/srclint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--no-suppress] PATH...\n"
+               "  PATHs: C++ files or directories (recursive)\n"
+               "  --json         machine-readable findings on stdout\n"
+               "  --no-suppress  ignore epp-lint suppression comments\n"
+               "exit code: 0 clean/notes, 1 warnings, 2 errors\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  epp::lint::SrclintOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-suppress") {
+      options.use_suppressions = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(argv[0]);
+
+  epp::lint::Diagnostics diagnostics;
+  epp::lint::lint_sources(paths, diagnostics, options);
+
+  if (json) {
+    std::fputs(epp::lint::render_json(diagnostics).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else if (diagnostics.empty()) {
+    std::printf("clean: %zu path(s), no findings\n", paths.size());
+  } else {
+    std::fputs(epp::lint::render_text(diagnostics).c_str(), stdout);
+  }
+  return epp::lint::exit_code(diagnostics);
+}
