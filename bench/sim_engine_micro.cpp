@@ -29,6 +29,14 @@ namespace {
 
 using namespace epp::sim;
 
+// Provenance constants, emitted into BENCH_sim.json so a benchmark
+// trajectory is attributable to the exact experiment it measured (and
+// replay-diffable: epp_replay strips the "timing" object and compares
+// the rest byte-for-byte).
+constexpr std::uint64_t kWorkloadSeed = 42;
+constexpr int kReplications = 8;
+constexpr int kReplicationThreads[] = {1, 2, 4, 8};
+
 void noop(void*, std::uint64_t) {}
 
 // --- engine core: pre-refactor baseline vs slab/calendar engine ----------
@@ -116,7 +124,7 @@ void BM_TestbedMeasurement(benchmark::State& state) {
   // window to keep the benchmark itself quick).
   for (auto _ : state) {
     trade::TestbedConfig config = trade::typical_workload(
-        trade::app_serv_f(), static_cast<std::size_t>(state.range(0)), 42);
+        trade::app_serv_f(), static_cast<std::size_t>(state.range(0)), kWorkloadSeed);
     config.warmup_s = 5.0;
     config.measure_s = 20.0;
     benchmark::DoNotOptimize(trade::run_testbed(config));
@@ -132,15 +140,15 @@ void BM_ReplicationScaling(benchmark::State& state) {
   // merged result is identical at every N, only wall-clock changes.
   epp::util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
   trade::TestbedConfig config =
-      trade::typical_workload(trade::app_serv_f(), 2000, 42);
+      trade::typical_workload(trade::app_serv_f(), 2000, kWorkloadSeed);
   config.warmup_s = 5.0;
   config.measure_s = 20.0;
   ReplicationOptions options;
-  options.replications = 8;
+  options.replications = kReplications;
   options.pool = &pool;
   for (auto _ : state)
     benchmark::DoNotOptimize(run_replications(config, options));
-  state.SetItemsProcessed(state.iterations() * 8);
+  state.SetItemsProcessed(state.iterations() * kReplications);
 }
 BENCHMARK(BM_ReplicationScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
@@ -152,7 +160,7 @@ void BM_FluidTestbed(benchmark::State& state) {
   // the population, so 10^6 clients is as cheap as the crossover point.
   for (auto _ : state) {
     trade::TestbedConfig config = trade::typical_workload(
-        trade::app_serv_f(), static_cast<std::size_t>(state.range(0)), 42);
+        trade::app_serv_f(), static_cast<std::size_t>(state.range(0)), kWorkloadSeed);
     config.warmup_s = 5.0;
     config.measure_s = 20.0;
     config.fluid_threshold = 1;  // always engage
@@ -201,23 +209,39 @@ double items_per_second_of(const std::vector<CapturedRun>& runs,
 }
 
 bool write_json(const std::string& path, const std::vector<CapturedRun>& runs) {
+  // Layout contract with lint/canon.hpp (the epp_replay canonicalizer):
+  // every wall-clock measurement lives under the top-level "timing"
+  // object, which the canonicalizer strips before byte-comparing runs;
+  // "provenance" and the benchmark name list are deterministic and must
+  // reproduce exactly.
   std::ofstream out(path);
   if (!out) return false;
-  out << "{\n  \"benchmarks\": [\n";
+  out << "{\n  \"provenance\": {\n"
+      << "    \"workload_seed\": " << kWorkloadSeed << ",\n"
+      << "    \"replications\": " << kReplications << ",\n"
+      << "    \"replication_threads\": [";
+  for (std::size_t i = 0; i < std::size(kReplicationThreads); ++i)
+    out << (i > 0 ? ", " : "") << kReplicationThreads[i];
+  out << "],\n"
+      << "    \"benchmark_names\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    out << (i > 0 ? ", " : "") << "\"" << runs[i].name << "\"";
+  out << "]\n  },\n";
+  out << "  \"timing\": {\n    \"benchmarks\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
-    out << "    {\"name\": \"" << runs[i].name << "\", \"real_ns_per_iter\": "
-        << runs[i].real_ns_per_iter << ", \"items_per_second\": "
-        << runs[i].items_per_second << "}";
+    out << "      {\"name\": \"" << runs[i].name
+        << "\", \"real_ns_per_iter\": " << runs[i].real_ns_per_iter
+        << ", \"items_per_second\": " << runs[i].items_per_second << "}";
     out << (i + 1 < runs.size() ? ",\n" : "\n");
   }
-  out << "  ],\n";
+  out << "    ],\n";
   const double old_rate =
       items_per_second_of(runs, "BM_LegacyEngineScheduleRun/100000");
   const double new_rate = items_per_second_of(runs, "BM_EngineScheduleRun/100000");
-  out << "  \"engine_events_per_second_old\": " << old_rate << ",\n"
-      << "  \"engine_events_per_second_new\": " << new_rate << ",\n"
-      << "  \"engine_speedup_100k\": "
-      << (old_rate > 0.0 ? new_rate / old_rate : 0.0) << "\n}\n";
+  out << "    \"engine_events_per_second_old\": " << old_rate << ",\n"
+      << "    \"engine_events_per_second_new\": " << new_rate << ",\n"
+      << "    \"engine_speedup_100k\": "
+      << (old_rate > 0.0 ? new_rate / old_rate : 0.0) << "\n  }\n}\n";
   return static_cast<bool>(out);
 }
 

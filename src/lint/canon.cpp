@@ -1,0 +1,83 @@
+#include "lint/canon.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <regex>
+#include <sstream>
+#include <string>
+
+namespace epp::lint {
+namespace {
+
+std::string trimmed(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+    ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+    --end;
+  return s.substr(begin, end - begin);
+}
+
+/// Net brace depth change of one line, ignoring braces inside strings.
+int brace_delta(const std::string& line) {
+  int delta = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++delta;
+    if (c == '}') --delta;
+  }
+  return delta;
+}
+
+}  // namespace
+
+bool is_json_artifact(const std::string& name, const std::string& text) {
+  if (name.size() >= 5 && name.compare(name.size() - 5, 5, ".json") == 0)
+    return true;
+  const std::string body = trimmed(text);
+  return !body.empty() && body.front() == '{';
+}
+
+std::string canonicalize_artifact(const std::string& name,
+                                  const std::string& text) {
+  if (!is_json_artifact(name, text)) return text;
+
+  // Emitters in this tree write one key per line, so a line-oriented
+  // scrub is exact for them — and safely conservative for anything
+  // else: a line we cannot prove is wall-time survives and must match.
+  static const std::regex timing_object(R"(^\s*"timing"\s*:\s*\{)");
+  static const std::regex wall_time_key(
+      R"re(^\s*"(?:[A-Za-z0-9_.]*(?:ns_per_iter|per_second|real_time|cpu_time|wall_ms|elapsed_ms|latency_ms|duration_s)[A-Za-z0-9_.]*|[A-Za-z0-9_.]+_(?:ms|us|ns))"\s*:)re");
+
+  std::istringstream in(text);
+  std::string out;
+  std::string line;
+  int skip_depth = 0;  // inside a "timing" object when > 0
+  while (std::getline(in, line)) {
+    if (skip_depth > 0) {
+      skip_depth += brace_delta(line);
+      continue;
+    }
+    if (std::regex_search(line, timing_object)) {
+      skip_depth = brace_delta(line);
+      if (skip_depth <= 0) skip_depth = 0;  // single-line {...} object
+      continue;
+    }
+    if (std::regex_search(line, wall_time_key)) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace epp::lint

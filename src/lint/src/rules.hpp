@@ -19,4 +19,8 @@ void check_concurrency(const std::vector<srcmodel::FileModel>& files,
 void check_hot_regions(const std::vector<srcmodel::FileModel>& files,
                        Diagnostics& out);
 
+/// EPP-DET-001..006 over the determinism value-flow facts.
+void check_determinism(const std::vector<srcmodel::FileModel>& files,
+                       Diagnostics& out);
+
 }  // namespace epp::lint::srcrules

@@ -156,6 +156,46 @@ int count_call_args(const std::string& pure, std::size_t open) {
   return -1;
 }
 
+/// Read the argument text of a call/init whose opening '(' or '{' is at
+/// `open`, up to the matching close bracket; "" when never balanced.
+std::string bracket_args(const std::string& pure, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < pure.size(); ++i) {
+    const char c = pure[i];
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '}' || c == '>') {
+      --depth;
+      if (depth == 0) return pure.substr(open + 1, i - open - 1);
+    }
+  }
+  return "";
+}
+
+/// The identifier assigned on this line (`seed = time(nullptr)` ->
+/// "seed"), or "" when the line has no simple top-level assignment.
+std::string assign_target(const std::string& line_text) {
+  for (std::size_t i = 1; i < line_text.size(); ++i) {
+    if (line_text[i] != '=') continue;
+    if (i + 1 < line_text.size() && line_text[i + 1] == '=') {
+      ++i;
+      continue;
+    }
+    const char before = line_text[i - 1];
+    if (before == '=' || before == '!' || before == '<' || before == '>' ||
+        before == '+' || before == '-' || before == '*' || before == '/' ||
+        before == '%' || before == '&' || before == '|' || before == '^')
+      continue;
+    std::size_t end = i;
+    while (end > 0 &&
+           std::isspace(static_cast<unsigned char>(line_text[end - 1])))
+      --end;
+    std::size_t begin = end;
+    while (begin > 0 && is_ident(line_text[begin - 1])) --begin;
+    return line_text.substr(begin, end - begin);
+  }
+  return "";
+}
+
 /// One active guard scope (or statement-form bare .lock()).
 struct GuardScope {
   std::vector<std::string> names;
@@ -300,6 +340,108 @@ FileModel scan_file(const std::string& path, const std::string& text) {
     }
   }
 
+  // --- determinism declarations (EPP-DET) ---------------------------
+  {
+    // util::Rng declarations. `Rng name(seed, stream);` seeds at the
+    // declaration; `Rng name;` may still be seeded by a constructor
+    // init list (`: name(seed, stream)`) elsewhere in the TU — only
+    // when neither exists is the declaration default-seeded.
+    static const std::regex rng_decl(R"(\bRng\s+([A-Za-z_]\w*)\s*([;({=]))");
+    for (auto it = std::sregex_iterator(views.pure.begin(), views.pure.end(),
+                                        rng_decl);
+         it != std::sregex_iterator(); ++it) {
+      RngDecl decl;
+      decl.line = line_of(starts, static_cast<std::size_t>(it->position(1)));
+      decl.name = (*it)[1];
+      const char term = views.pure[static_cast<std::size_t>(it->position(2))];
+      if (term == '(' || term == '{') {
+        const std::string args = bracket_args(
+            views.pure, static_cast<std::size_t>(it->position(2)));
+        bool any = false;
+        for (const char c : args)
+          if (!std::isspace(static_cast<unsigned char>(c))) any = true;
+        if (!any) continue;  // `Rng spawn() noexcept;` — a function
+        model.seed_sinks.push_back(SeedSink{decl.line, args});
+      } else if (term == ';') {
+        // Seeded by a constructor init list? Match `: name(...)` or
+        // `, name(...)` anywhere in the TU.
+        const std::regex ctor_init("[:,]\\s*" + decl.name + "\\s*[({]");
+        std::smatch m;
+        std::string::const_iterator search = views.pure.cbegin();
+        bool seeded = false;
+        while (std::regex_search(search, views.pure.cend(), m, ctor_init)) {
+          const std::size_t open = static_cast<std::size_t>(
+              (search - views.pure.cbegin()) + m.position(0) + m.length(0) -
+              1);
+          const std::string args = bracket_args(views.pure, open);
+          bool any = false;
+          for (const char c : args)
+            if (!std::isspace(static_cast<unsigned char>(c))) any = true;
+          if (any) {
+            seeded = true;
+            model.seed_sinks.push_back(
+                SeedSink{line_of(starts, open), args});
+          }
+          search += m.position(0) + m.length(0);
+        }
+        decl.default_seeded = !seeded;
+      }
+      // `=` means an initializer expression; the per-line entropy scan
+      // covers what flows into it.
+      model.rngs.push_back(std::move(decl));
+    }
+
+    // Associative containers whose key/iteration order matters. Angle
+    // brackets are balanced by hand because template arguments nest
+    // (`std::unordered_map<K, std::list<V>::iterator>`).
+    static const std::regex assoc(
+        R"(std::(unordered_)?(?:multi)?(?:map|set)\s*<)");
+    for (auto it = std::sregex_iterator(views.pure.begin(), views.pure.end(),
+                                        assoc);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t open =
+          static_cast<std::size_t>(it->position(0)) +
+          static_cast<std::size_t>(it->length(0)) - 1;
+      int angle = 1;
+      std::string first_arg;
+      std::size_t i = open + 1;
+      for (; i < views.pure.size() && angle > 0; ++i) {
+        const char c = views.pure[i];
+        if (c == '<') ++angle;
+        if (c == '>') --angle;
+        if (angle == 1 && c == ',' && first_arg.empty())
+          first_arg = views.pure.substr(open + 1, i - open - 1);
+        if (c == ';' || c == '{') break;  // never balanced; bail out
+      }
+      if (angle != 0) continue;
+      if (first_arg.empty())
+        first_arg = views.pure.substr(open + 1, i - 1 - open - 1);
+      // The declared identifier follows the closing '>' (possibly a
+      // reference/pointer parameter); anything else (`::iterator`, a
+      // function name before '(') is not a variable.
+      std::size_t p = i;
+      while (p < views.pure.size() &&
+             (std::isspace(static_cast<unsigned char>(views.pure[p])) ||
+              views.pure[p] == '&' || views.pure[p] == '*'))
+        ++p;
+      std::size_t name_begin = p;
+      while (p < views.pure.size() && is_ident(views.pure[p])) ++p;
+      if (p == name_begin) continue;
+      const std::string name = views.pure.substr(name_begin, p - name_begin);
+      while (p < views.pure.size() &&
+             std::isspace(static_cast<unsigned char>(views.pure[p])))
+        ++p;
+      if (p < views.pure.size() && views.pure[p] == '(')
+        continue;  // a function returning the container
+      ContainerDecl decl;
+      decl.line = line_of(starts, name_begin);
+      decl.name = name;
+      decl.unordered = (*it)[1].matched;
+      decl.pointer_key = first_arg.find('*') != std::string::npos;
+      model.containers.push_back(std::move(decl));
+    }
+  }
+
   // --- scope walk over `pure` ---------------------------------------
   const std::string& pure = views.pure;
   model.held_by_line.resize(static_cast<std::size_t>(model.line_count));
@@ -311,6 +453,29 @@ FileModel scan_file(const std::string& path, const std::string& text) {
   std::vector<bool> loop_keyword_line(
       static_cast<std::size_t>(model.line_count) + 1, false);
 
+  // Determinism walk state: a loop head / lambda introduction arms a
+  // pending record that the next matching '{' turns into an open scope;
+  // the matching '}' closes it into the model.
+  struct OpenContainerLoop {
+    std::string container;
+    int head_line = 0;
+    int body_begin = 0;
+    int depth = 0;
+  };
+  std::vector<OpenContainerLoop> open_container_loops;
+  std::string pending_loop_container;
+  int pending_loop_line = 0;
+  struct OpenLambda {
+    std::string name;
+    int intro_line = 0;
+    int body_begin = 0;
+    int depth = 0;
+  };
+  std::vector<OpenLambda> open_lambdas;
+  bool pending_lambda = false;
+  std::string pending_lambda_name;
+  int pending_lambda_line = 0;
+
   static const std::regex loop_kw(R"(\b(while|for|do)\b)");
   static const std::regex blocking_kw(
       R"((\.join|\bsleep_for|\bsleep_until|\brecv|\bpoll|\baccept|\bconnect|\bsystem|\bgetline)\s*\()");
@@ -318,6 +483,22 @@ FileModel scan_file(const std::string& path, const std::string& text) {
   static const std::regex detach_kw(R"(\.detach\s*\()");
   static const std::regex cas_kw(R"(\bcompare_exchange_weak\b)");
   static const std::regex hot_kw(R"(EPP_HOT_(BEGIN|END)\(\s*(\w+)\s*\))");
+  static const std::regex range_for_kw(
+      R"(\bfor\s*\([^;)]*:\s*([A-Za-z_][\w.\->\[\]]*)\s*\))");
+  static const std::regex iter_for_kw(
+      R"(\bfor\s*\([^;]*=\s*([A-Za-z_][\w.\->]*)\.c?begin\s*\()");
+  static const std::regex named_ref_lambda_kw(
+      R"(\bauto\s+([A-Za-z_]\w*)\s*=\s*\[[^\]\n]*&)");
+  static const std::regex inline_pool_lambda_kw(
+      R"(\b(?:parallel_for|for_each_index|submit)\s*\([^;[]*\[[^\]\n]*&)");
+  static const std::regex entropy_device_kw(R"(std::random_device)");
+  static const std::regex entropy_time_kw(R"(\btime\s*\(\s*(?:nullptr|NULL|0|&)\s*)");
+  static const std::regex entropy_clock_kw(
+      R"(\b([A-Za-z_][\w:]*[Cc]lock)::now\s*\()");
+  static const std::regex float_decl_kw(
+      R"(\b(?:double|float|std::atomic<\s*(?:double|float)\s*>)\s+([A-Za-z_]\w*)\s*[;={])");
+  static const std::regex seed_call_kw(R"((?:\.seed|\bsrand)\s*(\())");
+  static const std::regex rng_temp_kw(R"(::Rng\s*(\())");
 
   for (int line = 1; line <= model.line_count; ++line) {
     const std::size_t begin = starts[static_cast<std::size_t>(line - 1)];
@@ -330,6 +511,30 @@ FileModel scan_file(const std::string& path, const std::string& text) {
     if (std::regex_search(line_text, loop_kw))
       loop_keyword_line[static_cast<std::size_t>(line)] = true;
 
+    // Arm pending determinism scopes; a pending record that never meets
+    // its '{' within two lines is stale (braceless statement) and drops.
+    if (!pending_loop_container.empty() && line - pending_loop_line > 2)
+      pending_loop_container.clear();
+    if (pending_lambda && line - pending_lambda_line > 2)
+      pending_lambda = false;
+    {
+      std::smatch m;
+      if (std::regex_search(line_text, m, range_for_kw) ||
+          std::regex_search(line_text, m, iter_for_kw)) {
+        pending_loop_container = normalize_mutex_name(m[1]);
+        pending_loop_line = line;
+      }
+      if (std::regex_search(line_text, m, named_ref_lambda_kw)) {
+        pending_lambda = true;
+        pending_lambda_name = m[1];
+        pending_lambda_line = line;
+      } else if (std::regex_search(line_text, m, inline_pool_lambda_kw)) {
+        pending_lambda = true;
+        pending_lambda_name.clear();
+        pending_lambda_line = line;
+      }
+    }
+
     // Events on this line, in positional order: brace depth changes and
     // guard constructions (a guard guards everything after it).
     struct Event {
@@ -338,16 +543,18 @@ FileModel scan_file(const std::string& path, const std::string& text) {
       std::vector<std::string> names;
       bool unlock = false;
       bool loop_head = false;
+      bool plain = false;  // keyword-less block: lambda body, init list
     };
     std::vector<Event> events;
     for (std::size_t i = 0; i < line_text.size(); ++i) {
       if (line_text[i] == '{') {
-        Event event{i, 0, {}, false, false};
+        Event event{i, 0, {}, false, false, false};
         const std::string kw = block_keyword(pure, begin + i);
         event.loop_head = kw == "while" || kw == "for" || kw == "do";
+        event.plain = kw.empty();
         events.push_back(std::move(event));
       } else if (line_text[i] == '}') {
-        events.push_back(Event{i, 1, {}, false, false});
+        events.push_back(Event{i, 1, {}, false, false, false});
       }
     }
     for (auto it = std::sregex_iterator(line_text.begin(), line_text.end(),
@@ -377,7 +584,19 @@ FileModel scan_file(const std::string& path, const std::string& text) {
       switch (event.kind) {
         case 0:
           ++depth;
-          if (event.loop_head) loop_blocks.push_back(depth);
+          if (event.loop_head) {
+            loop_blocks.push_back(depth);
+            if (!pending_loop_container.empty()) {
+              open_container_loops.push_back(OpenContainerLoop{
+                  pending_loop_container, pending_loop_line, line, depth});
+              pending_loop_container.clear();
+            }
+          } else if (event.plain && pending_lambda) {
+            open_lambdas.push_back(OpenLambda{pending_lambda_name,
+                                              pending_lambda_line, line,
+                                              depth});
+            pending_lambda = false;
+          }
           break;
         case 1:
           --depth;
@@ -385,6 +604,19 @@ FileModel scan_file(const std::string& path, const std::string& text) {
             guards.pop_back();
           while (!loop_blocks.empty() && loop_blocks.back() > depth)
             loop_blocks.pop_back();
+          while (!open_container_loops.empty() &&
+                 open_container_loops.back().depth > depth) {
+            const OpenContainerLoop& open = open_container_loops.back();
+            model.container_loops.push_back(ContainerLoop{
+                open.head_line, open.body_begin, line, open.container});
+            open_container_loops.pop_back();
+          }
+          while (!open_lambdas.empty() && open_lambdas.back().depth > depth) {
+            const OpenLambda& open = open_lambdas.back();
+            model.pool_lambdas.push_back(PoolLambda{
+                open.intro_line, open.body_begin, line, open.name});
+            open_lambdas.pop_back();
+          }
           break;
         case 2:
         case 3: {
@@ -469,6 +701,41 @@ FileModel scan_file(const std::string& path, const std::string& text) {
       marker.begin = (*it)[1] == "BEGIN";
       marker.label = (*it)[2];
       model.hot_markers.push_back(std::move(marker));
+    }
+
+    // --- determinism per-line facts ---------------------------------
+    {
+      std::smatch m;
+      std::string token;
+      if (std::regex_search(line_text, m, entropy_device_kw))
+        token = "std::random_device";
+      else if (std::regex_search(line_text, m, entropy_clock_kw))
+        token = std::string(m[1]) + "::now";
+      else if (std::regex_search(line_text, m, entropy_time_kw))
+        token = "time";
+      if (!token.empty())
+        model.entropy.push_back(
+            EntropyUse{line, token, assign_target(line_text)});
+    }
+    for (auto it = std::sregex_iterator(line_text.begin(), line_text.end(),
+                                        float_decl_kw);
+         it != std::sregex_iterator(); ++it)
+      model.floats.push_back(FloatDecl{line, (*it)[1]});
+    for (auto it = std::sregex_iterator(line_text.begin(), line_text.end(),
+                                        seed_call_kw);
+         it != std::sregex_iterator(); ++it)
+      model.seed_sinks.push_back(SeedSink{
+          line, bracket_args(
+                    pure, begin + static_cast<std::size_t>(it->position(1)))});
+    for (auto it = std::sregex_iterator(line_text.begin(), line_text.end(),
+                                        rng_temp_kw);
+         it != std::sregex_iterator(); ++it) {
+      const std::string args = bracket_args(
+          pure, begin + static_cast<std::size_t>(it->position(1)));
+      bool any = false;
+      for (const char c : args)
+        if (!std::isspace(static_cast<unsigned char>(c))) any = true;
+      if (any) model.seed_sinks.push_back(SeedSink{line, args});
     }
   }
 

@@ -81,6 +81,39 @@ void lint_sources(const std::vector<std::string>& paths, Diagnostics& out,
 
   srcrules::check_concurrency(models, findings);
   srcrules::check_hot_regions(models, findings);
+  srcrules::check_determinism(models, findings);
+
+  if (!options.rule_prefixes.empty()) {
+    const auto enabled = [&options](const std::string& rule) {
+      for (const std::string& prefix : options.rule_prefixes)
+        if (rule.compare(0, prefix.size(), prefix) == 0) return true;
+      return false;
+    };
+    Diagnostics filtered;
+    for (const Diagnostic& diagnostic : findings.all()) {
+      // Unreadable inputs are reported regardless of the filter: a
+      // "clean" run that silently read nothing proves nothing.
+      if (diagnostic.rule == "EPP-META-002" || enabled(diagnostic.rule))
+        filtered.add(diagnostic);
+    }
+    findings = std::move(filtered);
+    // A suppression of a disabled rule must not go stale (EPP-META-001)
+    // just because this run never evaluated the rule.
+    for (Suppression& suppression : suppressions) {
+      suppression.rules.erase(
+          std::remove_if(suppression.rules.begin(), suppression.rules.end(),
+                         [&enabled](const std::string& rule) {
+                           return !enabled(rule);
+                         }),
+          suppression.rules.end());
+    }
+    suppressions.erase(
+        std::remove_if(suppressions.begin(), suppressions.end(),
+                       [](const Suppression& suppression) {
+                         return suppression.rules.empty();
+                       }),
+        suppressions.end());
+  }
 
   if (options.use_suppressions)
     findings = apply_suppressions(findings, suppressions);

@@ -1,7 +1,8 @@
-// epp_srclint — source-level concurrency & hot-path analyzer.
+// epp_srclint — source-level concurrency, hot-path & determinism
+// analyzer.
 //
-// Runs the EPP-CONC and EPP-HOT rule families over C++ source text,
-// using the lock model built by src/lint/src/source_model.hpp and the
+// Runs the EPP-CONC, EPP-HOT and EPP-DET rule families over C++ source
+// text, using the models built by src/lint/src/source_model.hpp and the
 // annotations in util/annotations.hpp. Reported through the same
 // epp_diag engine as every other linter in the tree (stable rule IDs,
 // severity lattice, text/JSON renderers, exit-code policy), with the
@@ -38,6 +39,20 @@
 //   EPP-HOT-004   warning  console / file I/O inside an EPP_HOT region
 //   EPP-HOT-005   error    unbalanced or label-mismatched EPP_HOT
 //                          markers
+//   EPP-DET-001   error    nondeterministic entropy (std::random_device
+//                          anywhere; time() / clock ::now() values
+//                          flowing into a seed)
+//   EPP-DET-002   error    std <random> engine/distribution used where
+//                          util::Rng's portable samplers are required
+//   EPP-DET-003   error    iteration over an unordered container whose
+//                          body accumulates floating point, emits
+//                          output, or schedules events
+//   EPP-DET-004   error    shared floating-point accumulator mutated
+//                          inside a thread-pool lambda (no fixed-order
+//                          merge)
+//   EPP-DET-005   warning  default-seeded util::Rng constructed in
+//                          library (non-tool, non-test) code
+//   EPP-DET-006   warning  pointer values used as ordering/hash keys
 //   EPP-META-001  warning  suppression comment that matches no finding
 //   EPP-META-002  error    input file could not be read
 //
@@ -58,6 +73,11 @@ struct SrclintOptions {
   /// Honor `// epp-lint: ignore(...)` comments (and report stale ones
   /// as EPP-META-001). Off shows every finding, suppressed or not.
   bool use_suppressions = true;
+  /// Rule-ID prefixes to report (e.g. {"EPP-DET", "EPP-CONC"}); empty
+  /// means every family. EPP-META-002 input errors always report, and
+  /// suppressions of disabled rules are neither applied nor counted
+  /// stale.
+  std::vector<std::string> rule_prefixes;
 };
 
 /// Lint the given files and/or directories (directories recurse over

@@ -1,0 +1,14 @@
+// Corpus: EPP-DET-005 — default-seeded util::Rng in library code. Every
+// caller silently shares kDefaultSeed, so "independent" replications
+// collapse onto one stream.
+#include "util/rng.hpp"
+
+namespace lint_corpus {
+
+inline epp::util::Rng ambient_rng;
+
+inline double ambient_draw() {
+  return ambient_rng.uniform();
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,19 @@
+// Corpus: EPP-DET-001 — ambient entropy flowing into seeds. Two
+// defects: a raw std::random_device read, and a wall-clock value that
+// taints a variable and then reaches a util::Rng constructor.
+#include <cstdint>
+#include <ctime>
+#include <random>
+
+#include "util/rng.hpp"
+
+namespace lint_corpus {
+
+inline std::uint64_t entropy_seeded_draw() {
+  std::random_device device;  // hardware entropy: unreproducible
+  const std::uint64_t wall = static_cast<std::uint64_t>(std::time(nullptr));
+  epp::util::Rng rng(wall, 0);  // seed tainted by time()
+  return rng() ^ device();
+}
+
+}  // namespace lint_corpus

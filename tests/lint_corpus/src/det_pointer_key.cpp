@@ -1,0 +1,15 @@
+// Corpus: EPP-DET-006 — pointer-keyed container. Iteration order
+// follows allocation addresses, which ASLR reshuffles every run.
+#include <unordered_map>
+
+namespace lint_corpus {
+
+struct CorpusSession {};
+
+inline std::unordered_map<CorpusSession*, int> retry_counts;
+
+inline void bump_retries(CorpusSession* session) {
+  ++retry_counts[session];
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,18 @@
+// Corpus: EPP-DET-001 (entropy source). Also the runtime cross-check
+// fixture for the determinism family: tests/lint_srclint_test.cpp
+// #includes this file and calls entropy_draws() twice — the replay-gate
+// analogue of running a pipeline in run-a and run-b — and asserts the
+// two "runs" diverge on the very source line the static rule flags.
+#include <array>
+#include <random>
+
+namespace lint_corpus {
+
+inline std::array<unsigned int, 8> entropy_draws() {
+  std::random_device device;  // each call is a fresh universe
+  std::array<unsigned int, 8> draws{};
+  for (auto& value : draws) value = device();
+  return draws;
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,15 @@
+// Corpus: EPP-DET-002 — std <random> machinery where util::Rng samplers
+// are required. The engine line and the distribution line are separate
+// findings: either alone already makes results non-portable.
+#include <cstdint>
+#include <random>
+
+namespace lint_corpus {
+
+inline double portable_looking_sample(std::uint64_t seed) {
+  std::mt19937_64 engine(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  return unit(engine);
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,17 @@
+// Corpus: a real EPP-DET-003 silenced by an inline suppression — this
+// file must produce no diagnostics when suppressions are honored, and
+// one EPP-DET-003 under --no-suppress.
+#include <iostream>
+#include <string>
+#include <unordered_set>
+
+namespace lint_corpus {
+
+inline void debug_dump(const std::unordered_set<std::string>& keys) {
+  // epp-lint: ignore(EPP-DET-003) debug-only dump, order is cosmetic
+  for (const auto& key : keys) {
+    std::cout << key << "\n";
+  }
+}
+
+}  // namespace lint_corpus

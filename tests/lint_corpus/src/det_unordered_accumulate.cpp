@@ -1,0 +1,17 @@
+// Corpus: EPP-DET-003 — hash-order iteration accumulating floating
+// point. Addition is not associative, so the total depends on the
+// bucket order of the standard library that happened to link in.
+#include <string>
+#include <unordered_map>
+
+namespace lint_corpus {
+
+inline double total_weight(const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& entry : weights) {
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,16 @@
+// Corpus: EPP-DET-003 — hash-order iteration emitting output. Two runs
+// of the same binary print the same names in different orders, so any
+// byte-compare of the artifact trips.
+#include <iostream>
+#include <string>
+#include <unordered_set>
+
+namespace lint_corpus {
+
+inline void dump_active(const std::unordered_set<std::string>& active) {
+  for (const auto& name : active) {
+    std::cout << name << "\n";
+  }
+}
+
+}  // namespace lint_corpus

@@ -1,0 +1,19 @@
+// Corpus: EPP-DET-003 — hash-order iteration scheduling events. Same
+// timestamps inserted in hash order give the engine a different
+// same-time tie-break sequence every run.
+#include <unordered_map>
+
+namespace lint_corpus {
+
+struct CorpusEngine {
+  void schedule_at(double, int) {}
+};
+
+inline void kick_off(CorpusEngine& engine,
+                     const std::unordered_map<int, double>& deadlines) {
+  for (const auto& entry : deadlines) {
+    engine.schedule_at(entry.second, entry.first);
+  }
+}
+
+}  // namespace lint_corpus

@@ -12,6 +12,11 @@
 //   3. Suppression semantics: `// epp-lint: ignore(<RULE>)` silences
 //      exactly its target line, stale suppressions surface as
 //      EPP-META-001, and --no-suppress reveals everything.
+//   4. The determinism family (EPP-DET): rule filtering via
+//      SrclintOptions::rule_prefixes, and the static/runtime
+//      cross-check — det_replay_divergence.cpp is #included below and
+//      executed twice, so the same source line the analyzer flags is
+//      shown to actually diverge between "runs".
 
 #include <gtest/gtest.h>
 
@@ -22,6 +27,8 @@
 #include "lint/diagnostic.hpp"
 #include "lint/src/srclint.hpp"
 #include "lint/suppress.hpp"
+
+#include "lint_corpus/src/det_replay_divergence.cpp"  // the shared defect fixture
 
 namespace epp {
 namespace {
@@ -57,6 +64,17 @@ struct GoldenFinding {
 const GoldenFinding kGolden[] = {
     {"blocking_under_lock.cpp", 14, "EPP-CONC-003", Severity::kWarning},
     {"cas_retry.cpp", 11, "EPP-CONC-007", Severity::kWarning},
+    {"det_default_seed.cpp", 8, "EPP-DET-005", Severity::kWarning},
+    {"det_entropy_seed.cpp", 13, "EPP-DET-001", Severity::kError},
+    {"det_entropy_seed.cpp", 15, "EPP-DET-001", Severity::kError},
+    {"det_parallel_accumulator.cpp", 13, "EPP-DET-004", Severity::kError},
+    {"det_pointer_key.cpp", 9, "EPP-DET-006", Severity::kWarning},
+    {"det_replay_divergence.cpp", 12, "EPP-DET-001", Severity::kError},
+    {"det_std_distribution.cpp", 10, "EPP-DET-002", Severity::kError},
+    {"det_std_distribution.cpp", 11, "EPP-DET-002", Severity::kError},
+    {"det_unordered_accumulate.cpp", 11, "EPP-DET-003", Severity::kError},
+    {"det_unordered_emit.cpp", 11, "EPP-DET-003", Severity::kError},
+    {"det_unordered_schedule.cpp", 14, "EPP-DET-003", Severity::kError},
     {"detached_thread.cpp", 8, "EPP-CONC-006", Severity::kWarning},
     {"double_lock.cpp", 12, "EPP-CONC-002", Severity::kError},
     {"guarded_bare_access.cpp", 18, "EPP-CONC-005", Severity::kWarning},
@@ -106,8 +124,9 @@ TEST(SrclintCorpus, CorpusCoversTheWholeRuleCatalog) {
   const std::vector<std::string> expected = {
       "EPP-CONC-001", "EPP-CONC-002", "EPP-CONC-003", "EPP-CONC-004",
       "EPP-CONC-005", "EPP-CONC-006", "EPP-CONC-007", "EPP-CONC-008",
-      "EPP-HOT-001",  "EPP-HOT-002",  "EPP-HOT-003",  "EPP-HOT-004",
-      "EPP-HOT-005",  "EPP-META-001",
+      "EPP-DET-001",  "EPP-DET-002",  "EPP-DET-003",  "EPP-DET-004",
+      "EPP-DET-005",  "EPP-DET-006",  "EPP-HOT-001",  "EPP-HOT-002",
+      "EPP-HOT-003",  "EPP-HOT-004",  "EPP-HOT-005",  "EPP-META-001",
   };
   EXPECT_EQ(covered, expected);
 }
@@ -243,6 +262,78 @@ TEST(SrclintSuppression, StaleSuppressionIsMeta001) {
   // --no-suppress: nothing to report at all (the defect never existed).
   EXPECT_TRUE(
       lint_paths({corpus_dir() + "/suppression_unused.cpp"}, false).empty());
+}
+
+TEST(SrclintSuppression, DeterminismFindingCanBeSuppressedToo) {
+  const Diagnostics honored =
+      lint_paths({corpus_dir() + "/det_suppressed_iteration.cpp"});
+  EXPECT_TRUE(honored.empty()) << lint::render_text(honored);
+
+  const Diagnostics revealed =
+      lint_paths({corpus_dir() + "/det_suppressed_iteration.cpp"},
+                 /*use_suppressions=*/false);
+  ASSERT_EQ(revealed.size(), 1u);
+  EXPECT_EQ(revealed.all()[0].rule, "EPP-DET-003");
+  EXPECT_EQ(revealed.all()[0].location.line, 12);
+}
+
+// --- 4. the determinism family ---------------------------------------------
+
+Diagnostics lint_filtered(const std::vector<std::string>& paths,
+                          const std::vector<std::string>& prefixes) {
+  SrclintOptions options;
+  options.rule_prefixes = prefixes;
+  Diagnostics diagnostics;
+  lint::lint_sources(paths, diagnostics, options);
+  return diagnostics;
+}
+
+TEST(SrclintRuleFilter, PrefixFilterKeepsOnlyMatchingFamilies) {
+  const Diagnostics det_only = lint_filtered({corpus_dir()}, {"EPP-DET"});
+  ASSERT_FALSE(det_only.empty());
+  for (const Diagnostic& diagnostic : det_only.all())
+    EXPECT_EQ(diagnostic.rule.rfind("EPP-DET", 0), 0u) << diagnostic.rule;
+
+  // A filter narrowed to one rule keeps exactly that rule's findings.
+  const Diagnostics one_rule = lint_filtered({corpus_dir()}, {"EPP-DET-003"});
+  ASSERT_EQ(one_rule.size(), 3u);
+  for (const Diagnostic& diagnostic : one_rule.all())
+    EXPECT_EQ(diagnostic.rule, "EPP-DET-003");
+}
+
+TEST(SrclintRuleFilter, DisabledFamilySuppressionsDoNotGoStale) {
+  // det_suppressed_iteration.cpp suppresses an EPP-DET-003; with the
+  // family disabled the suppression must be dropped quietly, not
+  // reported as stale EPP-META-001.
+  const Diagnostics conc_only = lint_filtered(
+      {corpus_dir() + "/det_suppressed_iteration.cpp"}, {"EPP-CONC"});
+  EXPECT_TRUE(conc_only.empty()) << lint::render_text(conc_only);
+}
+
+TEST(SrclintRuleFilter, MissingInputStillSurfacesThroughTheFilter) {
+  // EPP-META-002 (bad input) must not be filterable away.
+  const Diagnostics diagnostics = lint_filtered(
+      {corpus_dir() + "/no_such_file.cpp"}, {"EPP-DET"});
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics.all()[0].rule, "EPP-META-002");
+}
+
+TEST(SrclintDeterminism, StaticFindingAndRuntimeDivergenceAgree) {
+  // Static side: the analyzer pins the std::random_device read.
+  const Diagnostics diagnostics =
+      lint_paths({corpus_dir() + "/det_replay_divergence.cpp"});
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics.all()[0].rule, "EPP-DET-001");
+  EXPECT_EQ(diagnostics.all()[0].location.line, 12);
+
+  // Runtime side: execute the flagged code twice — the miniature
+  // version of epp_replay's run-a/run-b — and observe the divergence
+  // the rule predicts. Eight 32-bit hardware draws colliding twice in
+  // a row is beyond astronomically unlikely.
+  const auto run_a = lint_corpus::entropy_draws();
+  const auto run_b = lint_corpus::entropy_draws();
+  EXPECT_NE(run_a, run_b)
+      << "two entropy-seeded runs produced identical draw sequences";
 }
 
 }  // namespace

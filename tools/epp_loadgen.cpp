@@ -712,16 +712,34 @@ int main(int argc, char** argv) try {
       std::cerr << "epp_loadgen: cannot write " << config.json_out << "\n";
       return 1;
     }
+    // Layout contract with lint/canon.hpp (the epp_replay
+    // canonicalizer): wall-clock measurements live under "timing",
+    // which is stripped before runs are byte-compared; "provenance"
+    // records the exact (seed, stream) plan, lane count and arrival
+    // process so a trajectory is attributable to its experiment.
     json << "{\n"
          << "  \"bench\": \"serve\",\n"
-         << "  \"offered_rps\": " << offered_rps << ",\n"
-         << "  \"target_rps\": " << config.rps << ",\n"
-         << "  \"achieved_rps\": " << achieved_rps << ",\n"
-         << "  \"duration_s\": " << send_wall_s << ",\n"
-         << "  \"connections\": " << config.connections << ",\n"
-         << "  \"hot_fraction\": " << config.hot_fraction << ",\n"
-         << "  \"arrivals\": \"" << (config.poisson ? "poisson" : "uniform")
+         << "  \"provenance\": {\n"
+         << "    \"seed\": " << config.seed << ",\n"
+         << "    \"lane_streams\": \"1..connections, scheduler 0x407\",\n"
+         << "    \"connections\": " << config.connections << ",\n"
+         << "    \"target_rps\": " << config.rps << ",\n"
+         << "    \"configured_duration_s\": " << config.duration_s << ",\n"
+         << "    \"hot_fraction\": " << config.hot_fraction << ",\n"
+         << "    \"arrivals\": \"" << (config.poisson ? "poisson" : "uniform")
          << "\",\n"
+         << "    \"retry_budget\": " << config.retry_budget << ",\n"
+         << "    \"observe_scale\": " << config.observe_scale << "\n"
+         << "  },\n"
+         << "  \"timing\": {\n"
+         << "    \"offered_rps\": " << offered_rps << ",\n"
+         << "    \"achieved_rps\": " << achieved_rps << ",\n"
+         << "    \"send_wall_s\": " << send_wall_s << ",\n"
+         << "    \"client_latency\": " << json_quantiles(merged.client_hist)
+         << ",\n"
+         << "    \"predictor_latency\": "
+         << json_quantiles(merged.predictor_hist) << "\n"
+         << "  },\n"
          << "  \"sent\": " << merged.sent << ",\n"
          << "  \"received\": " << merged.received << ",\n"
          << "  \"ok\": " << merged.ok << ",\n"
@@ -738,12 +756,7 @@ int main(int argc, char** argv) try {
          << "  \"request_retries\": " << merged.request_retries << ",\n"
          << "  \"lost_inflight\": " << merged.lost_inflight << ",\n"
          << "  \"dead_lanes\": " << dead_lanes << ",\n"
-         << "  \"observes_sent\": " << merged.observes_sent << ",\n"
-         << "  \"observe_scale\": " << config.observe_scale << ",\n"
-         << "  \"client_latency\": " << json_quantiles(merged.client_hist)
-         << ",\n"
-         << "  \"predictor_latency\": "
-         << json_quantiles(merged.predictor_hist) << "\n"
+         << "  \"observes_sent\": " << merged.observes_sent << "\n"
          << "}\n";
     std::cerr << "wrote " << config.json_out << "\n";
   }

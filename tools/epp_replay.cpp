@@ -1,0 +1,264 @@
+// epp_replay — the runtime half of the determinism contract.
+//
+//   epp_replay [--artifact NAME]... [--check-stdout]
+//              [--vary-threads N] [--threads-flag FLAG]
+//              [--out-dir DIR] [--diff-out FILE] -- CMD ARG...
+//
+// Runs CMD twice in two scratch directories (run-a, run-b) and
+// byte-compares what it produced. EPP-DET's static rules claim the tree
+// cannot produce run-dependent results; this harness checks the claim
+// end-to-end the same way the lock-rank tracker cross-checks
+// EPP-CONC-001: by actually executing the pipeline.
+//
+//   --artifact NAME   compare the file NAME (relative to each run
+//                     directory; repeatable). CMD should write it
+//                     there — relative output paths resolve into the
+//                     run directory because CMD runs with cwd set to it.
+//   --check-stdout    compare CMD's captured stdout as well.
+//   --vary-threads N  append "<threads-flag> 1" to the first run and
+//                     "<threads-flag> N" to the second, turning the
+//                     dual-run check into a thread-count-invariance
+//                     check (seed-sharded replications with fixed-order
+//                     merge must not care).
+//   --threads-flag F  the flag --vary-threads appends (default
+//                     "--threads").
+//   --out-dir DIR     where run-a/run-b live (default
+//                     "./epp_replay_runs"; wiped and recreated).
+//   --diff-out FILE   where to write the divergence report (default
+//                     DIR/replay_diff.txt).
+//
+// Artifacts are canonicalized before comparison (lint/canon.hpp): JSON
+// artifacts lose their wall-time measurement fields ("timing" objects
+// and legacy *_ms / *per_second keys), everything else must match
+// verbatim. CMD and any input paths in ARG must be absolute — the
+// command runs from inside the run directory.
+//
+// Exit code: 0 byte-identical, 1 divergence (report written), 2 usage
+// or execution failure. CI's determinism gate runs epp_calibrate and
+// epp_sweep through this and uploads the report on failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/canon.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--artifact NAME]... [--check-stdout] [--vary-threads N]\n"
+      "          [--threads-flag FLAG] [--out-dir DIR] [--diff-out FILE]\n"
+      "          -- CMD ARG...\n"
+      "runs CMD twice and byte-compares canonicalized artifacts;\n"
+      "exit code: 0 identical, 1 divergence, 2 usage/run failure\n",
+      argv0);
+  return 2;
+}
+
+std::string shell_quote(const std::string& arg) {
+  std::string out = "'";
+  for (const char c : arg) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out += c;
+  }
+  out += "'";
+  return out;
+}
+
+bool read_file(const std::filesystem::path& path, std::string& out) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) return false;
+  std::ostringstream content;
+  content << stream.rdbuf();
+  out = content.str();
+  return true;
+}
+
+/// First line (1-based) where two texts differ, with the differing
+/// lines themselves; 0 when identical.
+struct LineDiff {
+  int line = 0;
+  std::string a;
+  std::string b;
+};
+
+LineDiff first_difference(const std::string& a, const std::string& b) {
+  std::istringstream sa(a);
+  std::istringstream sb(b);
+  std::string la;
+  std::string lb;
+  int line = 0;
+  while (true) {
+    const bool more_a = static_cast<bool>(std::getline(sa, la));
+    const bool more_b = static_cast<bool>(std::getline(sb, lb));
+    ++line;
+    if (!more_a && !more_b) return {};
+    if (!more_a) return {line, "<end of file>", lb};
+    if (!more_b) return {line, la, "<end of file>"};
+    if (la != lb) return {line, la, lb};
+  }
+}
+
+struct ReplayConfig {
+  std::vector<std::string> artifacts;
+  bool check_stdout = false;
+  std::size_t vary_threads = 0;  // 0 = plain dual run
+  std::string threads_flag = "--threads";
+  std::string out_dir = "epp_replay_runs";
+  std::string diff_out;
+  std::vector<std::string> command;
+};
+
+int run_once(const ReplayConfig& config, const std::filesystem::path& dir,
+             const std::string& thread_value) {
+  std::string shell = "cd ";
+  shell += shell_quote(dir.string());
+  shell += " &&";
+  for (const std::string& arg : config.command) {
+    shell += ' ';
+    shell += shell_quote(arg);
+  }
+  if (!thread_value.empty()) {
+    shell += ' ';
+    shell += shell_quote(config.threads_flag);
+    shell += ' ';
+    shell += shell_quote(thread_value);
+  }
+  shell += " > stdout.txt 2> stderr.txt";
+  return std::system(shell.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReplayConfig config;
+  try {
+    int i = 1;
+    for (; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--") {
+        ++i;
+        break;
+      }
+      const auto value = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc)
+          throw epp::util::cli::UsageError(std::string(flag) +
+                                           ": missing value");
+        return argv[++i];
+      };
+      if (arg == "--artifact") {
+        config.artifacts.push_back(value("--artifact"));
+      } else if (arg == "--check-stdout") {
+        config.check_stdout = true;
+      } else if (arg == "--vary-threads") {
+        config.vary_threads =
+            epp::util::cli::parse_size("--vary-threads", value("--vary-threads"), 1);
+      } else if (arg == "--threads-flag") {
+        config.threads_flag = value("--threads-flag");
+      } else if (arg == "--out-dir") {
+        config.out_dir = value("--out-dir");
+      } else if (arg == "--diff-out") {
+        config.diff_out = value("--diff-out");
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
+      } else {
+        throw epp::util::cli::UsageError("unknown flag '" + arg + "'");
+      }
+    }
+    for (; i < argc; ++i) config.command.push_back(argv[i]);
+    if (config.command.empty())
+      throw epp::util::cli::UsageError(
+          "missing command: pass `-- CMD ARG...` after the flags");
+    if (config.artifacts.empty() && !config.check_stdout)
+      throw epp::util::cli::UsageError(
+          "nothing to compare: pass --artifact NAME and/or --check-stdout");
+  } catch (const epp::util::cli::UsageError& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return usage(argv[0]);
+  }
+  if (config.diff_out.empty())
+    config.diff_out = config.out_dir + "/replay_diff.txt";
+
+  const std::filesystem::path base(config.out_dir);
+  const std::filesystem::path run_a = base / "run-a";
+  const std::filesystem::path run_b = base / "run-b";
+  std::error_code ec;
+  std::filesystem::remove_all(base, ec);
+  std::filesystem::create_directories(run_a, ec);
+  std::filesystem::create_directories(run_b, ec);
+  if (ec) {
+    std::fprintf(stderr, "epp_replay: cannot create %s: %s\n",
+                 base.string().c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  const std::string threads_a = config.vary_threads > 0 ? "1" : "";
+  const std::string threads_b =
+      config.vary_threads > 0 ? std::to_string(config.vary_threads) : "";
+  for (const auto& [dir, threads] :
+       {std::pair(run_a, threads_a), std::pair(run_b, threads_b)}) {
+    const int status = run_once(config, dir, threads);
+    if (status != 0) {
+      std::string stderr_text;
+      read_file(dir / "stderr.txt", stderr_text);
+      std::fprintf(stderr,
+                   "epp_replay: command failed (status %d) in %s\n%s",
+                   status, dir.string().c_str(), stderr_text.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<std::string> names = config.artifacts;
+  if (config.check_stdout) names.push_back("stdout.txt");
+  std::string report;
+  for (const std::string& name : names) {
+    std::string text_a;
+    std::string text_b;
+    if (!read_file(run_a / name, text_a) || !read_file(run_b / name, text_b)) {
+      std::fprintf(stderr,
+                   "epp_replay: artifact '%s' missing from a run directory "
+                   "(did the command write it?)\n",
+                   name.c_str());
+      return 2;
+    }
+    const std::string canon_a = epp::lint::canonicalize_artifact(name, text_a);
+    const std::string canon_b = epp::lint::canonicalize_artifact(name, text_b);
+    if (canon_a == canon_b) {
+      std::printf("epp_replay: %s identical (%zu canonical bytes)\n",
+                  name.c_str(), canon_a.size());
+      continue;
+    }
+    const LineDiff diff = first_difference(canon_a, canon_b);
+    report += "artifact: " + name + "\n";
+    report += "first divergence at canonical line " +
+              std::to_string(diff.line) + "\n";
+    report += "  run-a: " + diff.a + "\n";
+    report += "  run-b: " + diff.b + "\n\n";
+  }
+
+  if (report.empty()) {
+    const char* mode = config.vary_threads > 0 ? "thread-count invariant"
+                                               : "dual-run reproducible";
+    std::printf("epp_replay: %s — %zu comparison(s) byte-identical\n", mode,
+                names.size());
+    return 0;
+  }
+
+  std::ofstream diff_stream(config.diff_out, std::ios::binary);
+  diff_stream << report;
+  diff_stream.close();
+  std::fprintf(stderr,
+               "epp_replay: DIVERGENCE — the runs disagree; report in %s\n%s",
+               config.diff_out.c_str(), report.c_str());
+  return 1;
+}

@@ -1,16 +1,25 @@
-// epp_srclint — concurrency & hot-path static analysis for the tree's
-// own C++ sources.
+// epp_srclint — concurrency, hot-path & determinism static analysis
+// for the tree's own C++ sources.
 //
-//   epp_srclint [--json] [--no-suppress] PATH...
+//   epp_srclint [--json] [--no-suppress] [--rules=PREFIX[,PREFIX...]] PATH...
 //
 // PATHs are files or directories (directories recurse over
 // .hpp/.h/.hh/.cpp/.cc/.cxx). The analyzer builds a lock model from the
 // EPP_LOCK_RANK / EPP_GUARDED_BY / EPP_HOT annotations
-// (util/annotations.hpp) and the guard scopes it finds, then runs the
-// EPP-CONC (lock order, blocking under lock, double lock, guarded
-// fields, detached threads, broken CAS) and EPP-HOT (allocation,
-// std::function, locks, I/O in hot regions) rule families. Findings
-// print in the same compiler-style / JSON formats as epp_lint.
+// (util/annotations.hpp) and the guard scopes it finds, plus a
+// determinism value-flow model (RNG declarations, unordered containers,
+// entropy sources, pool lambdas), then runs the EPP-CONC (lock order,
+// blocking under lock, double lock, guarded fields, detached threads,
+// broken CAS), EPP-HOT (allocation, std::function, locks, I/O in hot
+// regions) and EPP-DET (entropy into seeds, std <random>, hash-order
+// effects, racy float accumulation, default seeds, pointer keys) rule
+// families. Findings print in the same compiler-style / JSON formats as
+// epp_lint.
+//
+// --rules narrows the run to the named rule-ID prefixes ("EPP-DET",
+// "EPP-CONC-001", ...). The filter is checked: a prefix that matches no
+// known family is a usage error, not a silently-clean run. EPP-META-002
+// input errors always report.
 //
 // `// epp-lint: ignore(<RULE>)` comments suppress a finding on the next
 // line (or their own line when trailing code); stale suppressions are
@@ -27,18 +36,57 @@
 
 #include "lint/diagnostic.hpp"
 #include "lint/src/srclint.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--json] [--no-suppress] PATH...\n"
-               "  PATHs: C++ files or directories (recursive)\n"
-               "  --json         machine-readable findings on stdout\n"
-               "  --no-suppress  ignore epp-lint suppression comments\n"
-               "exit code: 0 clean/notes, 1 warnings, 2 errors\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--json] [--no-suppress] [--rules=PREFIX[,PREFIX...]] "
+      "PATH...\n"
+      "  PATHs: C++ files or directories (recursive)\n"
+      "  --json         machine-readable findings on stdout\n"
+      "  --no-suppress  ignore epp-lint suppression comments\n"
+      "  --rules=LIST   only report rules matching these ID prefixes\n"
+      "                 (families: EPP-CONC, EPP-HOT, EPP-DET, EPP-META)\n"
+      "exit code: 0 clean/notes, 1 warnings, 2 errors\n",
+      argv0);
   return 2;
+}
+
+/// Split and validate a --rules prefix list. Every element must be a
+/// prefix of (or extend) a known rule family, so `--rules=EPP-TYPO`
+/// fails loudly instead of reporting a spuriously clean tree.
+std::vector<std::string> parse_rule_prefixes(const std::string& spec) {
+  static const char* const kFamilies[] = {"EPP-CONC", "EPP-HOT", "EPP-DET",
+                                          "EPP-META"};
+  std::vector<std::string> prefixes;
+  std::string current;
+  std::string remaining = spec + ",";
+  for (const char c : remaining) {
+    if (c != ',') {
+      current.push_back(c);
+      continue;
+    }
+    if (current.empty())
+      throw epp::util::cli::UsageError(
+          "--rules: empty element in '" + spec + "'");
+    bool known = false;
+    for (const char* family : kFamilies) {
+      const std::string f(family);
+      if (current.compare(0, f.size(), f) == 0 ||
+          f.compare(0, current.size(), current) == 0)
+        known = true;
+    }
+    if (!known)
+      throw epp::util::cli::UsageError(
+          "--rules: '" + current +
+          "' matches no rule family (EPP-CONC, EPP-HOT, EPP-DET, EPP-META)");
+    prefixes.push_back(current);
+    current.clear();
+  }
+  return prefixes;
 }
 
 }  // namespace
@@ -47,21 +95,32 @@ int main(int argc, char** argv) {
   bool json = false;
   epp::lint::SrclintOptions options;
   std::vector<std::string> paths;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      json = true;
-    } else if (arg == "--no-suppress") {
-      options.use_suppressions = false;
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
-      return usage(argv[0]);
-    } else {
-      paths.push_back(arg);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        json = true;
+      } else if (arg == "--no-suppress") {
+        options.use_suppressions = false;
+      } else if (arg.rfind("--rules=", 0) == 0) {
+        options.rule_prefixes = parse_rule_prefixes(arg.substr(8));
+      } else if (arg == "--rules") {
+        if (i + 1 >= argc)
+          throw epp::util::cli::UsageError("--rules: missing prefix list");
+        options.rule_prefixes = parse_rule_prefixes(argv[++i]);
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+        return usage(argv[0]);
+      } else {
+        paths.push_back(arg);
+      }
     }
+  } catch (const epp::util::cli::UsageError& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return usage(argv[0]);
   }
   if (paths.empty()) return usage(argv[0]);
 
